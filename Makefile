@@ -1,0 +1,40 @@
+# mmtag build/test/reproduction targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt experiments figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate the outputs EXPERIMENTS.md records.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Every evaluation artifact of the paper, as text tables.
+experiments:
+	$(GO) run ./cmd/mmtag all
+
+# The paper's two evaluation figures as SVG images.
+figures:
+	$(GO) run ./cmd/mmtag fig6 -svg > fig6.svg
+	$(GO) run ./cmd/mmtag fig7 -svg > fig7.svg
+	$(GO) run ./cmd/mmtag retro -svg > retro.svg
+
+clean:
+	rm -f fig6.svg fig7.svg retro.svg test_output.txt bench_output.txt

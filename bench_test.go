@@ -1,0 +1,384 @@
+// Benchmarks: one per paper artifact (DESIGN.md §4). Each bench runs the
+// experiment driver that regenerates the corresponding figure/table, so
+// `go test -bench=. -benchmem` exercises the full reproduction and its
+// cost. Correctness of the regenerated values is asserted by the tests in
+// internal/experiments; here we also re-check the headline anchors once
+// per bench so a silent regression cannot hide behind a fast run.
+package mmtag_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmtag/mmtag"
+	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// BenchmarkFigure6S11Sweep regenerates paper Fig. 6 (E1): the 201-point
+// S11 sweep of one tag element in both switch states.
+func BenchmarkFigure6S11Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Figure6(201)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Abs(r.CarrierOffDB+15) > 1 || math.Abs(r.CarrierOnDB+5) > 1 {
+			b.Fatalf("Fig. 6 anchors moved: off %.1f, on %.1f", r.CarrierOffDB, r.CarrierOnDB)
+		}
+	}
+}
+
+// BenchmarkFigure7LinkBudget regenerates paper Fig. 7 (E2): the 21-point
+// range sweep with noise floors and the rate table.
+func BenchmarkFigure7LinkBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Figure7(21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RateAt4ft < 1e9 || r.RateAt10ft < 1e7 {
+			b.Fatalf("Fig. 7 headline moved: %g @4ft, %g @10ft", r.RateAt4ft, r.RateAt10ft)
+		}
+	}
+}
+
+// BenchmarkRetrodirectivity regenerates E3: the Van Atta vs fixed-beam
+// incidence sweep (paper Fig. 3's argument, Eq. 5).
+func BenchmarkRetrodirectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Retrodirectivity(25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.WorstErrorDeg > 8 {
+			b.Fatalf("retrodirectivity broke: %.1f°", r.WorstErrorDeg)
+		}
+	}
+}
+
+// BenchmarkBeamwidth regenerates E4: the §7 geometry check.
+func BenchmarkBeamwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Beamwidth(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.HPBWDeg < 15 || r.HPBWDeg > 21 {
+			b.Fatalf("beamwidth moved: %.1f°", r.HPBWDeg)
+		}
+	}
+}
+
+// BenchmarkComparisonTable regenerates E5: the §1/§3 baseline table.
+func BenchmarkComparisonTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Comparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MmTagAt4ft < 1e9 {
+			b.Fatal("comparison headline moved")
+		}
+	}
+}
+
+// BenchmarkOOKBER regenerates E6 at reduced Monte-Carlo depth: the OOK
+// waterfall validating the Fig. 7 thresholds.
+func BenchmarkOOKBER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.BERValidation(20_000, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
+			b.Fatal("no BER points")
+		}
+	}
+}
+
+// BenchmarkMultiTagMAC regenerates E7: the §9 SDM + Aloha network sweep.
+func BenchmarkMultiTagMAC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.MultiTag([]int{1, 4, 16}, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 3 {
+			b.Fatal("multitag points")
+		}
+	}
+}
+
+// BenchmarkSelfInterference regenerates E8: the §9 isolation sweep with
+// full waveform-level decoding at each point.
+func BenchmarkSelfInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.SelfInterference(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Points[0].Decoded {
+			b.Fatal("high-isolation decode failed")
+		}
+	}
+}
+
+// BenchmarkArraySizeAblation regenerates A1: the §8 element-count sweep.
+func BenchmarkArraySizeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.ArraySizeAblation([]int{2, 6, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 3 {
+			b.Fatal("ablation points")
+		}
+	}
+}
+
+// BenchmarkImpairmentAblation regenerates A2: the phase-error sweep.
+func BenchmarkImpairmentAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.ImpairmentAblation([]float64{0, 20, 60}, 5, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 3 {
+			b.Fatal("impairment points")
+		}
+	}
+}
+
+// BenchmarkWaveformBurst measures the cost of one complete waveform-level
+// burst exchange (frame → switch waveform → channel → sync → demod →
+// CRC) — the inner loop of every E8-style experiment.
+func BenchmarkWaveformBurst(b *testing.B) {
+	link, err := mmtag.NewLink(mmtag.Feet(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := mmtag.NewSource(1)
+	payload := make([]byte, 64)
+	bw := link.Reader.Bandwidths[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := link.RunWaveform(payload, bw, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Decoded {
+			b.Fatal("burst failed at 4 ft")
+		}
+	}
+}
+
+// BenchmarkBudgetOnly measures the analytic link-budget path alone — the
+// per-point cost of Fig. 7.
+func BenchmarkBudgetOnly(b *testing.B) {
+	link, err := mmtag.NewLink(mmtag.Feet(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := link.ComputeBudget(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOOKModem measures raw symbol-domain OOK modulation +
+// demodulation throughput.
+func BenchmarkOOKModem(b *testing.B) {
+	src := rng.New(1)
+	bits := src.Bits(make([]byte, 4096))
+	mod := phy.OOK{}
+	b.SetBytes(int64(len(bits)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syms, err := mod.Modulate(nil, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := mod.Demodulate(nil, syms)
+		if len(out) != len(bits) {
+			b.Fatal("length")
+		}
+	}
+}
+
+// BenchmarkAloha100Tags measures singulating 100 tags with framed Aloha.
+func BenchmarkAloha100Tags(b *testing.B) {
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		r, err := mac.RunAloha(100, mac.DefaultAlohaConfig(), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Resolved != 100 {
+			b.Fatal("unresolved tags")
+		}
+	}
+}
+
+// BenchmarkRateTable measures the paper's SNR→rate mapping.
+func BenchmarkRateTable(b *testing.B) {
+	bws := units.PaperBandwidths()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := units.AchievableRate(-65, 300, 5, bws); !ok {
+			b.Fatal("rate mapping broke")
+		}
+	}
+}
+
+// BenchmarkEnergyFeasibility regenerates E9: the batteryless harvest
+// sweep.
+func BenchmarkEnergyFeasibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.EnergyFeasibility(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.BatterylessRangeFt < 10 {
+			b.Fatal("batteryless range regressed")
+		}
+	}
+}
+
+// BenchmarkAntiCollision regenerates E10: Aloha vs query tree.
+func BenchmarkAntiCollision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.AntiCollision([]int{8, 32}, 10, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 2 {
+			b.Fatal("anticol points")
+		}
+	}
+}
+
+// BenchmarkBlockage regenerates E11: the §4 NLOS fallback sweep.
+func BenchmarkBlockage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.Blockage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.SeveredWithoutReflector {
+			b.Fatal("blockage sanity broke")
+		}
+	}
+}
+
+// BenchmarkRateAdaptation regenerates E12: the OOK/4-ASK adaptation
+// sweep.
+func BenchmarkRateAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.RateAdaptation(21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PeakRateBps != 2e9 {
+			b.Fatal("adaptation peak regressed")
+		}
+	}
+}
+
+// BenchmarkFadingMargin regenerates E13: the Rician margin sweep
+// including ten waveform decodes per K.
+func BenchmarkFadingMargin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.FadingMargin(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 4 {
+			b.Fatal("fading points")
+		}
+	}
+}
+
+// BenchmarkBandScaling regenerates E14: the 24/39/60 GHz comparison.
+func BenchmarkBandScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.BandScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Points[0].RateAt4ft < 1e9 {
+			b.Fatal("24 GHz anchor regressed")
+		}
+	}
+}
+
+// BenchmarkMobilityTrack measures the reader-tracks-walking-tag loop of
+// the AR-streaming scenario.
+func BenchmarkMobilityTrack(b *testing.B) {
+	cb, err := mmtag.NewCodebook(-1.5, 1.5, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mmtag.TrackConfig{
+		Walk: mmtag.Mobility{
+			Waypoints: []mmtag.Vec{{X: 3, Y: 1}, {X: 1.2, Y: 0}, {X: 3, Y: -1}},
+			SpeedMps:  0.5,
+		},
+		TagHeading: math.Pi,
+		Codebook:   cb,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mmtag.RunTrack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxRate < 1e8 {
+			b.Fatal("track rate regressed")
+		}
+	}
+}
+
+// BenchmarkCodedBER regenerates E15 at reduced Monte-Carlo depth.
+func BenchmarkCodedBER(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.CodedBER(40_000, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
+			b.Fatal("coded points")
+		}
+	}
+}
+
+// BenchmarkARQGoodput regenerates E16: waveform-level stop-and-wait ARQ
+// across the 2 GHz cliff.
+func BenchmarkARQGoodput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.ARQGoodput(6, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 7 {
+			b.Fatal("arq points")
+		}
+	}
+}
+
+// BenchmarkPlanarTag regenerates E17: the 2-D Van Atta comparison
+// (includes the 61×61 bistatic peak searches).
+func BenchmarkPlanarTag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mmtag.PlanarTag()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PlanarGainDBi < 16 {
+			b.Fatal("planar gain regressed")
+		}
+	}
+}

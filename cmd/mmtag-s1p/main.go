@@ -1,0 +1,66 @@
+// Command mmtag-s1p exports the simulated tag element's one-port
+// S-parameters (the paper's Fig. 6 sweeps) as Touchstone v1 .s1p files —
+// the interchange format VNAs and RF CAD tools read — so the simulated
+// curves can be overlaid on real measurements.
+//
+// Usage:
+//
+//	mmtag-s1p [-dir OUT] [-points N] [-start GHz] [-stop GHz]
+//
+// It writes OUT/element_switch_off.s1p and OUT/element_switch_on.s1p.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mmtag/mmtag/internal/circuit"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	points := flag.Int("points", 201, "sweep points")
+	start := flag.Float64("start", 23.5, "start frequency (GHz)")
+	stop := flag.Float64("stop", 24.5, "stop frequency (GHz)")
+	flag.Parse()
+	if err := run(*dir, *points, *start*1e9, *stop*1e9); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtag-s1p:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, points int, startHz, stopHz float64) error {
+	elem := circuit.DefaultPatchElement()
+	freq, _, _, err := elem.S11Sweep(startHz, stopHz, points)
+	if err != nil {
+		return err
+	}
+	for _, state := range []struct {
+		name string
+		on   bool
+	}{
+		{"element_switch_off.s1p", false},
+		{"element_switch_on.s1p", true},
+	} {
+		pts := make([]circuit.OnePortPoint, len(freq))
+		for i, f := range freq {
+			pts[i] = circuit.OnePortPoint{FreqHz: f, S11: elem.Gamma(f, state.on)}
+		}
+		path := filepath.Join(dir, state.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := circuit.WriteS1P(f, elem.Z0, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points, %.2f–%.2f GHz)\n", path, points, startHz/1e9, stopHz/1e9)
+	}
+	return nil
+}

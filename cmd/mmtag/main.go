@@ -1,0 +1,265 @@
+// Command mmtag regenerates every evaluation artifact of the mmTag paper
+// from the simulation library: each subcommand reproduces one figure,
+// table or claim (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	mmtag <experiment> [flags]
+//
+// Experiments:
+//
+//	fig6       E1: element S11 vs frequency, switch off/on (paper Fig. 6)
+//	fig7       E2: received power & data rate vs range     (paper Fig. 7)
+//	retro      E3: Van Atta vs fixed-beam across incidence (Fig. 3 / Eq. 5)
+//	beamwidth  E4: tag beamwidth & geometry                (paper §7)
+//	compare    E5: baseline systems vs mmTag               (paper §1/§3)
+//	ber        E6: OOK BER Monte-Carlo vs analytic
+//	mac        E7: multi-tag SDM + Aloha network           (paper §9)
+//	selfint    E8: decode health vs TX→RX isolation        (paper §9)
+//	arraysize  A1: element-count ablation                  (paper §8)
+//	energy     E9: batteryless feasibility (harvest vs draw)
+//	anticol    E10: Aloha vs binary query tree anti-collision
+//	blockage   E11: NLOS fallback when LOS is blocked (§4)
+//	rateadapt  E12: OOK vs 4-ASK modulation adaptation
+//	fading     E13: Rician fading margins
+//	bands      E14: 24/39/60 GHz band scaling (§7 footnote)
+//	coded      E15: Hamming(7,4)+interleaving coded vs uncoded BER
+//	arq        E16: link-layer goodput with stop-and-wait ARQ
+//	planar     E17: 2-D (planar) Van Atta vs fixed panel
+//	impair     A2: line phase-error ablation
+//	all        run every experiment in order
+//
+// Flags:
+//
+//	-csv        emit CSV instead of an aligned table
+//	-points N   sweep resolution where applicable
+//	-seed N     randomness seed for the stochastic experiments
+//	-bits N     Monte-Carlo bits for the BER experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mmtag/mmtag/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mmtag:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	csv    bool
+	svg    bool
+	points int
+	seed   uint64
+	bits   int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmtag", flag.ContinueOnError)
+	var opt options
+	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of an aligned table")
+	fs.BoolVar(&opt.svg, "svg", false, "emit an SVG chart (fig6, fig7, retro)")
+	fs.IntVar(&opt.points, "points", 0, "sweep resolution (0 = experiment default)")
+	fs.Uint64Var(&opt.seed, "seed", 1, "randomness seed")
+	fs.IntVar(&opt.bits, "bits", 200_000, "Monte-Carlo bits for the BER experiment")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all> [flags]")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if name == "all" {
+		for _, n := range []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber", "mac", "selfint", "energy", "anticol", "blockage", "rateadapt", "fading", "bands", "coded", "arq", "planar", "arraysize", "impair"} {
+			if err := emit(n, opt); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return emit(name, opt)
+}
+
+func emit(name string, opt options) error {
+	if opt.svg {
+		return emitSVG(name, opt)
+	}
+	tab, err := tableFor(name, opt)
+	if err != nil {
+		return err
+	}
+	if opt.csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.Render())
+	}
+	return nil
+}
+
+// emitSVG renders the chart-capable experiments as SVG on stdout.
+func emitSVG(name string, opt options) error {
+	var (
+		svg string
+		err error
+	)
+	switch name {
+	case "fig6":
+		r, e := experiments.Figure6(opt.points)
+		if e != nil {
+			return e
+		}
+		svg, err = r.Chart().SVG()
+	case "fig7":
+		r, e := experiments.Figure7(opt.points)
+		if e != nil {
+			return e
+		}
+		svg, err = r.Chart().SVG()
+	case "retro":
+		r, e := experiments.Retrodirectivity(opt.points)
+		if e != nil {
+			return e
+		}
+		svg, err = r.Chart().SVG()
+	default:
+		return fmt.Errorf("experiment %q has no SVG rendering (fig6, fig7, retro do)", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(svg)
+	return nil
+}
+
+func tableFor(name string, opt options) (experiments.Table, error) {
+	switch name {
+	case "fig6":
+		r, err := experiments.Figure6(opt.points)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "fig7":
+		r, err := experiments.Figure7(opt.points)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "retro":
+		r, err := experiments.Retrodirectivity(opt.points)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "beamwidth":
+		r, err := experiments.Beamwidth(6)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "compare":
+		r, err := experiments.Comparison()
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "ber":
+		r, err := experiments.BERValidation(opt.bits, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "mac":
+		r, err := experiments.MultiTag(nil, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "selfint":
+		r, err := experiments.SelfInterference(opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "energy":
+		r, err := experiments.EnergyFeasibility(opt.points)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "anticol":
+		r, err := experiments.AntiCollision(nil, 0, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "blockage":
+		r, err := experiments.Blockage()
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "rateadapt":
+		r, err := experiments.RateAdaptation(opt.points)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "fading":
+		r, err := experiments.FadingMargin(opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "bands":
+		r, err := experiments.BandScaling()
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "coded":
+		r, err := experiments.CodedBER(opt.bits, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "arq":
+		r, err := experiments.ARQGoodput(opt.points, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "planar":
+		r, err := experiments.PlanarTag()
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "arraysize":
+		r, err := experiments.ArraySizeAblation(nil)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "impair":
+		r, err := experiments.ImpairmentAblation(nil, 0, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	default:
+		return experiments.Table{}, fmt.Errorf("unknown experiment %q", name)
+	}
+}

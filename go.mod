@@ -1,0 +1,3 @@
+module github.com/mmtag/mmtag
+
+go 1.22

@@ -1,0 +1,182 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsotropic(t *testing.T) {
+	e := Isotropic{}
+	if e.AmplitudeAt(0) != 1 || e.AmplitudeAt(1.2) != 1 {
+		t.Error("isotropic must be flat")
+	}
+	if e.PeakGainDBi() != 0 {
+		t.Error("isotropic gain must be 0 dBi")
+	}
+}
+
+func TestPatchPattern(t *testing.T) {
+	p := NewPatch()
+	peak := p.AmplitudeAt(0)
+	if math.Abs(20*math.Log10(peak)-5) > 1e-9 {
+		t.Errorf("patch boresight %g", peak)
+	}
+	// Monotone falloff in the forward hemisphere, zero behind.
+	if p.AmplitudeAt(0.5) >= peak || p.AmplitudeAt(1.0) >= p.AmplitudeAt(0.5) {
+		t.Error("patch pattern should fall off")
+	}
+	if p.AmplitudeAt(math.Pi/2+0.01) != 0 || p.AmplitudeAt(math.Pi) != 0 {
+		t.Error("patch must not radiate backward")
+	}
+}
+
+func TestPhasePerElementEq2(t *testing.T) {
+	// With d = λ/2 the inter-element phase is π·sin(θ): paper Eq. 2.
+	a, err := NewHalfWaveULA(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, math.Pi/2)
+		return math.Abs(a.PhasePerElement(theta)-math.Pi*math.Sin(theta)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteeringVectorMatchesEq1(t *testing.T) {
+	a, _ := NewHalfWaveULA(4, nil)
+	theta := 0.4
+	v := a.SteeringVector(theta)
+	for n, got := range v {
+		want := cmplx.Rect(1, -math.Pi*float64(n)*math.Sin(theta))
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Errorf("element %d: %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestTransmitWeightsConjugateReceive(t *testing.T) {
+	// Eq. 3 is Eq. 2 with inverted phases: y_n = conj(x_n) for a unit
+	// wave and isotropic elements.
+	a, _ := NewHalfWaveULA(8, nil)
+	theta := -0.7
+	rx := a.SteeringVector(theta)
+	tx := a.TransmitWeights(theta)
+	for n := range rx {
+		if cmplx.Abs(tx[n]-cmplx.Conj(rx[n])) > 1e-12 {
+			t.Errorf("element %d: tx %v, conj(rx) %v", n, tx[n], cmplx.Conj(rx[n]))
+		}
+	}
+}
+
+func TestArrayFactorPeaksAtSteer(t *testing.T) {
+	a, _ := NewHalfWaveULA(8, nil)
+	for _, steer := range []float64{0, 0.3, -0.5, 1.0} {
+		w := a.TransmitWeights(steer)
+		peak := cmplx.Abs(a.ArrayFactor(w, steer))
+		if math.Abs(peak-8) > 1e-9 {
+			t.Errorf("steer %g: peak %g, want 8 (coherent sum)", steer, peak)
+		}
+		// Any other angle must be below the peak.
+		for _, off := range []float64{-1.2, -0.9, 0.15, 0.7, 1.3} {
+			th := steer + off
+			if th > math.Pi/2 || th < -math.Pi/2 {
+				continue
+			}
+			if v := cmplx.Abs(a.ArrayFactor(w, th)); v >= peak-1e-9 {
+				t.Errorf("steer %g: |AF(%g)| = %g not below peak", steer, th, v)
+			}
+		}
+	}
+}
+
+func TestGainDBi(t *testing.T) {
+	// Uniform 8-element isotropic array: boresight gain 10·log10(8) ≈ 9 dBi.
+	a, _ := NewHalfWaveULA(8, nil)
+	w := a.TransmitWeights(0)
+	if g := a.GainDBi(w, 0); math.Abs(g-9.03) > 0.01 {
+		t.Errorf("8-element gain %g, want ≈9.03", g)
+	}
+	if g := a.BoresightGainDBi(); math.Abs(g-9.03) > 0.01 {
+		t.Errorf("boresight gain %g", g)
+	}
+	// Patch elements add their gain.
+	b := ULA{N: 6, SpacingWl: 0.5, Elem: NewPatch()}
+	want := 5 + 10*math.Log10(6)
+	if g := b.GainDBi(b.TransmitWeights(0), 0); math.Abs(g-want) > 0.01 {
+		t.Errorf("patch array gain %g, want %g", g, want)
+	}
+}
+
+func TestHPBWSixElements(t *testing.T) {
+	// The paper's 6-element tag: HPBW ≈ 0.886·λ/(N·d) = 0.2953 rad ≈ 16.9°,
+	// consistent with the paper's quoted "20 degree beam width".
+	a, _ := NewHalfWaveULA(6, nil)
+	w := a.TransmitWeights(0)
+	hpbw := a.HPBWRad(w, 0) * 180 / math.Pi
+	if hpbw < 15 || hpbw > 21 {
+		t.Errorf("6-element HPBW %.1f°, want ≈17–20°", hpbw)
+	}
+}
+
+func TestHPBWShrinksWithN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{4, 8, 16, 32} {
+		a, _ := NewHalfWaveULA(n, nil)
+		h := a.HPBWRad(a.TransmitWeights(0), 0)
+		if h >= prev {
+			t.Errorf("HPBW did not shrink at N=%d: %g vs %g", n, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestPatternNormalization(t *testing.T) {
+	a, _ := NewHalfWaveULA(6, nil)
+	w := a.TransmitWeights(0.2)
+	thetas, pat, err := a.Pattern(w, -math.Pi/2, math.Pi/2, 181)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxV := math.Inf(-1)
+	maxI := 0
+	for i, v := range pat {
+		if v > maxV {
+			maxV, maxI = v, i
+		}
+	}
+	if math.Abs(maxV) > 1e-9 {
+		t.Errorf("pattern peak %g dB, want 0", maxV)
+	}
+	if math.Abs(thetas[maxI]-0.2) > 0.02 {
+		t.Errorf("pattern peak at %g, want 0.2", thetas[maxI])
+	}
+	if _, _, err := a.Pattern(w, 1, -1, 10); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, _, err := a.Pattern(w, -1, 1, 1); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestNewHalfWaveULAValidation(t *testing.T) {
+	if _, err := NewHalfWaveULA(0, nil); err == nil {
+		t.Error("0 elements should fail")
+	}
+}
+
+func TestGainEdgeCases(t *testing.T) {
+	a, _ := NewHalfWaveULA(4, nil)
+	if g := a.GainDBi(nil, 0); !math.IsInf(g, -1) {
+		t.Errorf("empty weights gain %g", g)
+	}
+	// Patch array has no gain behind the array.
+	b := ULA{N: 4, SpacingWl: 0.5, Elem: NewPatch()}
+	if g := b.GainDBi(b.TransmitWeights(0), math.Pi); !math.IsInf(g, -1) {
+		t.Errorf("backward gain %g", g)
+	}
+}

@@ -1,0 +1,113 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PhasedArray is the reader-side steerable array the paper contrasts the
+// tag against: a ULA whose per-element phase shifters have finite
+// resolution. The paper's point is that such arrays are too power-hungry
+// and costly for a tag — here they live on the reader, where the budget
+// allows them.
+type PhasedArray struct {
+	Array ULA
+	// PhaseBits is the phase-shifter resolution in bits (0 = ideal
+	// continuous phase).
+	PhaseBits int
+	// PowerW is the array's DC power draw, modeled for the energy
+	// comparison against the passive tag ("a few watts" per the paper).
+	PowerW float64
+}
+
+// NewReaderArray returns the default reader phased array: 16 isotropic
+// elements at λ/2, 6-bit shifters, 4 W — a typical 24 GHz beamforming
+// front end.
+func NewReaderArray() PhasedArray {
+	return PhasedArray{
+		Array:     ULA{N: 16, SpacingWl: 0.5, Elem: Isotropic{}},
+		PhaseBits: 6,
+		PowerW:    4,
+	}
+}
+
+// QuantizePhase rounds a phase (radians) to the shifter grid.
+func (p PhasedArray) QuantizePhase(phase float64) float64 {
+	if p.PhaseBits <= 0 {
+		return phase
+	}
+	levels := float64(int(1) << uint(p.PhaseBits))
+	step := 2 * math.Pi / levels
+	return math.Round(phase/step) * step
+}
+
+// WeightsToward returns the quantized feed weights steering the beam to
+// theta.
+func (p PhasedArray) WeightsToward(theta float64) []complex128 {
+	ideal := p.Array.TransmitWeights(theta)
+	out := make([]complex128, len(ideal))
+	for i, v := range ideal {
+		out[i] = cmplx.Rect(cmplx.Abs(v), p.QuantizePhase(cmplx.Phase(v)))
+	}
+	return out
+}
+
+// GainToward returns the realized gain (dBi) toward target when steering
+// to steer, including quantization loss.
+func (p PhasedArray) GainToward(steer, target float64) float64 {
+	return p.Array.GainDBi(p.WeightsToward(steer), target)
+}
+
+// Codebook is a set of beams covering a sector, the unit of the reader's
+// exhaustive scan (paper Fig. 2: "the reader scans the space by steering
+// its beam").
+type Codebook struct {
+	// Angles holds each beam's steering angle in radians.
+	Angles []float64
+}
+
+// UniformCodebook returns n beams evenly covering [min, max] radians.
+func UniformCodebook(min, max float64, n int) (Codebook, error) {
+	if n < 1 {
+		return Codebook{}, fmt.Errorf("antenna: codebook needs ≥ 1 beam")
+	}
+	if max <= min {
+		return Codebook{}, fmt.Errorf("antenna: codebook range inverted")
+	}
+	angles := make([]float64, n)
+	for i := range angles {
+		angles[i] = min + (max-min)*(float64(i)+0.5)/float64(n)
+	}
+	return Codebook{Angles: angles}, nil
+}
+
+// SectorCodebookFor builds a codebook whose beam pitch matches the
+// array's half-power beamwidth across [min, max], so adjacent beams cross
+// near −3 dB — the standard exhaustive-search codebook.
+func SectorCodebookFor(a ULA, min, max float64) (Codebook, error) {
+	w := a.TransmitWeights(0)
+	hpbw := a.HPBWRad(w, 0)
+	if hpbw <= 0 {
+		return Codebook{}, fmt.Errorf("antenna: degenerate beamwidth")
+	}
+	n := int(math.Ceil((max - min) / hpbw))
+	if n < 1 {
+		n = 1
+	}
+	return UniformCodebook(min, max, n)
+}
+
+// Size returns the number of beams.
+func (c Codebook) Size() int { return len(c.Angles) }
+
+// Nearest returns the index of the beam closest to theta.
+func (c Codebook) Nearest(theta float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i, a := range c.Angles {
+		if d := math.Abs(a - theta); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizePhase(t *testing.T) {
+	p := PhasedArray{PhaseBits: 2} // steps of π/2
+	cases := map[float64]float64{
+		0:     0,
+		0.8:   math.Pi / 2, // 0.8 > π/4, rounds up to the π/2 step
+		-0.8:  -math.Pi / 2,
+		0.7:   0, // 0.7 < π/4, rounds down
+		3.0:   math.Pi,
+		0.078: 0,
+	}
+	for in, want := range cases {
+		if got := p.QuantizePhase(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("quantize(%g) = %g, want %g", in, got, want)
+		}
+	}
+	// Ideal shifters pass through.
+	ideal := PhasedArray{PhaseBits: 0}
+	if got := ideal.QuantizePhase(0.1234); got != 0.1234 {
+		t.Errorf("ideal quantize changed phase: %g", got)
+	}
+}
+
+func TestQuantizationLossSmallFor6Bits(t *testing.T) {
+	p := NewReaderArray()
+	ideal := PhasedArray{Array: p.Array, PhaseBits: 0}
+	f := func(thetaRaw float64) bool {
+		theta := math.Mod(thetaRaw, 1.0)
+		loss := ideal.GainToward(theta, theta) - p.GainToward(theta, theta)
+		// 6-bit shifters lose well under 0.2 dB.
+		return loss < 0.2 && loss > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarseQuantizationLosesGain(t *testing.T) {
+	base := NewReaderArray().Array
+	fine := PhasedArray{Array: base, PhaseBits: 6}
+	coarse := PhasedArray{Array: base, PhaseBits: 1}
+	theta := 0.37
+	if coarse.GainToward(theta, theta) >= fine.GainToward(theta, theta) {
+		t.Error("1-bit shifters should lose gain versus 6-bit")
+	}
+}
+
+func TestUniformCodebook(t *testing.T) {
+	cb, err := UniformCodebook(-1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Size() != 8 {
+		t.Fatalf("size %d", cb.Size())
+	}
+	// Beams are sorted, inside the sector and evenly pitched.
+	for i := 0; i < cb.Size(); i++ {
+		if cb.Angles[i] <= -1 || cb.Angles[i] >= 1 {
+			t.Errorf("beam %d at %g outside sector", i, cb.Angles[i])
+		}
+		if i > 0 {
+			pitch := cb.Angles[i] - cb.Angles[i-1]
+			if math.Abs(pitch-0.25) > 1e-12 {
+				t.Errorf("pitch %g, want 0.25", pitch)
+			}
+		}
+	}
+	if _, err := UniformCodebook(1, -1, 8); err == nil {
+		t.Error("inverted sector should fail")
+	}
+	if _, err := UniformCodebook(-1, 1, 0); err == nil {
+		t.Error("empty codebook should fail")
+	}
+}
+
+func TestSectorCodebookCoverage(t *testing.T) {
+	a, _ := NewHalfWaveULA(16, nil)
+	cb, err := SectorCodebookFor(a, -math.Pi/3, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ~6.3° beams over 120°, expect roughly 19 beams.
+	if cb.Size() < 12 || cb.Size() > 32 {
+		t.Errorf("codebook size %d out of plausible range", cb.Size())
+	}
+	// Every direction in the sector is within half a beamwidth of some
+	// beam center.
+	hpbw := a.HPBWRad(a.TransmitWeights(0), 0)
+	for th := -math.Pi / 3; th <= math.Pi/3; th += 0.01 {
+		i := cb.Nearest(th)
+		if math.Abs(cb.Angles[i]-th) > hpbw {
+			t.Errorf("direction %g uncovered (nearest beam %g)", th, cb.Angles[i])
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cb := Codebook{Angles: []float64{-0.5, 0, 0.5}}
+	if cb.Nearest(0.4) != 2 || cb.Nearest(-0.3) != 0 || cb.Nearest(0.1) != 1 {
+		t.Error("nearest beam selection wrong")
+	}
+	empty := Codebook{}
+	if empty.Nearest(0) != -1 {
+		t.Error("empty codebook should return -1")
+	}
+}

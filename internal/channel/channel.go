@@ -1,0 +1,205 @@
+// Package channel models mmWave propagation for the backscatter link:
+// free-space one-way and two-way (reader → tag → reader) path gains with
+// carrier phase, single-bounce NLOS rays built by the image method
+// (paper §4: "when the line-of-sight path is blocked, the tag and the
+// reader chooses an NLOS path to communicate"), blockage, atmospheric
+// absorption, and thermal noise parameters for the receiver.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// Environment is the propagation scene: frequency, reflectors, blockers
+// and atmospheric loss.
+type Environment struct {
+	// FreqHz is the carrier frequency (paper: 24 GHz).
+	FreqHz float64
+	// Reflectors are surfaces that create single-bounce NLOS paths.
+	Reflectors []Reflector
+	// Blockers are obstacles that cut any ray crossing them.
+	Blockers []geom.Segment
+	// AtmosphericDBpKm is the extra absorption in dB/km (≈ 0.1 dB/km at
+	// 24 GHz; only matters at long range but modeled for completeness).
+	AtmosphericDBpKm float64
+}
+
+// Reflector is a wall or panel with a reflection loss.
+type Reflector struct {
+	Surface geom.Segment
+	// LossDB is the power lost at the bounce (6 dB drywall, ~1 dB metal).
+	LossDB float64
+}
+
+// NewFreeSpace returns an empty 24 GHz environment.
+func NewFreeSpace() *Environment {
+	return &Environment{FreqHz: 24e9}
+}
+
+// Wavelength returns the carrier wavelength in meters.
+func (e *Environment) Wavelength() float64 { return units.Wavelength(e.FreqHz) }
+
+// Ray is one resolved propagation path between two points.
+type Ray struct {
+	// Kind distinguishes the direct path from bounces.
+	Kind RayKind
+	// LengthM is the total traversed distance.
+	LengthM float64
+	// Gain is the complex amplitude gain of the path, including spreading
+	// loss, bounce loss, absorption and carrier phase.
+	Gain complex128
+	// DepartureRad and ArrivalRad are the ray's angles at the two
+	// endpoints (global frame), needed to apply antenna patterns.
+	DepartureRad float64
+	ArrivalRad   float64
+	// Via is the bounce point for NLOS rays.
+	Via geom.Vec
+}
+
+// RayKind labels a ray.
+type RayKind int
+
+// Ray kinds.
+const (
+	LOS RayKind = iota
+	NLOS
+)
+
+// String returns the ray kind name.
+func (k RayKind) String() string {
+	if k == LOS {
+		return "LOS"
+	}
+	return "NLOS"
+}
+
+// pathAmplitude returns the one-way complex gain for a path of length l:
+// (λ/4πl)·e^{−j2πl/λ}, times absorption.
+func (e *Environment) pathAmplitude(l float64) complex128 {
+	if l <= 0 {
+		return 0
+	}
+	lambda := e.Wavelength()
+	amp := lambda / (4 * math.Pi * l)
+	if e.AtmosphericDBpKm > 0 {
+		amp *= math.Pow(10, -e.AtmosphericDBpKm*(l/1000)/20)
+	}
+	return cmplx.Rect(amp, -2*math.Pi*l/lambda)
+}
+
+// blocked reports whether the straight segment p→q is cut by any blocker.
+func (e *Environment) blocked(p, q geom.Vec) bool {
+	for _, b := range e.Blockers {
+		if b.Blocks(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rays resolves all propagation paths from src to dst: the direct ray (if
+// unblocked) plus one ray per reflector with a valid, unblocked bounce.
+func (e *Environment) Rays(src, dst geom.Vec) []Ray {
+	var rays []Ray
+	if !e.blocked(src, dst) {
+		d := dst.Sub(src)
+		l := d.Norm()
+		if l > 0 {
+			rays = append(rays, Ray{
+				Kind:         LOS,
+				LengthM:      l,
+				Gain:         e.pathAmplitude(l),
+				DepartureRad: d.Angle(),
+				ArrivalRad:   d.Scale(-1).Angle(),
+			})
+		}
+	}
+	for _, r := range e.Reflectors {
+		pt, ok := r.Surface.ReflectionPoint(src, dst)
+		if !ok {
+			continue
+		}
+		if e.blocked(src, pt) || e.blocked(pt, dst) {
+			continue
+		}
+		l := src.Dist(pt) + pt.Dist(dst)
+		g := e.pathAmplitude(l) * complex(math.Pow(10, -r.LossDB/20), 0)
+		rays = append(rays, Ray{
+			Kind:         NLOS,
+			LengthM:      l,
+			Gain:         g,
+			DepartureRad: pt.Sub(src).Angle(),
+			ArrivalRad:   pt.Sub(dst).Angle(),
+			Via:          pt,
+		})
+	}
+	return rays
+}
+
+// BestRay returns the strongest ray from src to dst, or ok=false if the
+// link is completely severed.
+func (e *Environment) BestRay(src, dst geom.Vec) (Ray, bool) {
+	rays := e.Rays(src, dst)
+	if len(rays) == 0 {
+		return Ray{}, false
+	}
+	best := rays[0]
+	for _, r := range rays[1:] {
+		if cmplx.Abs(r.Gain) > cmplx.Abs(best.Gain) {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// OneWayGainDB returns the total power gain in dB of the best path between
+// two points (−∞ if severed).
+func (e *Environment) OneWayGainDB(src, dst geom.Vec) float64 {
+	r, ok := e.BestRay(src, dst)
+	if !ok {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(cmplx.Abs(r.Gain))
+}
+
+// TwoWayGain composes the backscatter round trip over a single ray choice:
+// the forward ray's complex gain times the reverse ray's. By reciprocity
+// the reverse ray retraces the forward one — this symmetry is exactly why
+// the Van Atta tag's "reflect toward the arrival direction" solves beam
+// alignment (paper §5.2: "due to the symmetry of forward and backward
+// channels in backscatter communication, the best direction for these two
+// beams are the same").
+func (e *Environment) TwoWayGain(reader, tag geom.Vec) (complex128, Ray, bool) {
+	r, ok := e.BestRay(reader, tag)
+	if !ok {
+		return 0, Ray{}, false
+	}
+	return r.Gain * r.Gain, r, true
+}
+
+// Validate checks the environment for obvious misconfiguration.
+func (e *Environment) Validate() error {
+	if e.FreqHz <= 0 {
+		return fmt.Errorf("channel: non-positive carrier frequency %v", e.FreqHz)
+	}
+	for i, r := range e.Reflectors {
+		if r.Surface.Length() == 0 {
+			return fmt.Errorf("channel: reflector %d has zero extent", i)
+		}
+		if r.LossDB < 0 {
+			return fmt.Errorf("channel: reflector %d has negative loss", i)
+		}
+	}
+	return nil
+}
+
+// DopplerHz returns the two-way Doppler shift for a tag moving with
+// radial velocity v m/s (positive = receding): f_d = −2v/λ.
+func (e *Environment) DopplerHz(radialVelocity float64) float64 {
+	return -2 * radialVelocity / e.Wavelength()
+}

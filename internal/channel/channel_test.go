@@ -1,0 +1,192 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+func TestLOSGainMatchesFriis(t *testing.T) {
+	e := NewFreeSpace()
+	src := geom.Vec{X: 0, Y: 0}
+	for _, d := range []float64{0.5, 1, 2, 5} {
+		dst := geom.Vec{X: d, Y: 0}
+		got := e.OneWayGainDB(src, dst)
+		want := -units.FSPLDB(d, e.Wavelength())
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("d=%g: %g vs Friis %g", d, got, want)
+		}
+	}
+}
+
+func TestPathPhaseAdvances(t *testing.T) {
+	e := NewFreeSpace()
+	lambda := e.Wavelength()
+	// Moving the endpoint by λ/2 flips the carrier phase by π.
+	r1, _ := e.BestRay(geom.Vec{}, geom.Vec{X: 1, Y: 0})
+	r2, _ := e.BestRay(geom.Vec{}, geom.Vec{X: 1 + lambda/2, Y: 0})
+	dphi := math.Abs(geomWrap(cmplx.Phase(r2.Gain) - cmplx.Phase(r1.Gain)))
+	if math.Abs(dphi-math.Pi) > 1e-6 {
+		t.Errorf("phase advance %g, want π", dphi)
+	}
+}
+
+func geomWrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func TestTwoWayGainIsSquared(t *testing.T) {
+	e := NewFreeSpace()
+	reader := geom.Vec{}
+	f := func(raw float64) bool {
+		d := 0.3 + math.Mod(math.Abs(raw), 5)
+		tag := geom.Vec{X: d, Y: 0}
+		g2, _, ok := e.TwoWayGain(reader, tag)
+		if !ok {
+			return false
+		}
+		r, _ := e.BestRay(reader, tag)
+		return cmplx.Abs(g2-r.Gain*r.Gain) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoWaySlope40dBPerDecade(t *testing.T) {
+	e := NewFreeSpace()
+	g1, _, _ := e.TwoWayGain(geom.Vec{}, geom.Vec{X: 1, Y: 0})
+	g10, _, _ := e.TwoWayGain(geom.Vec{}, geom.Vec{X: 10, Y: 0})
+	slope := 20 * math.Log10(cmplx.Abs(g1)/cmplx.Abs(g10))
+	if math.Abs(slope-40) > 1e-6 {
+		t.Errorf("two-way slope %g dB/decade, want 40", slope)
+	}
+}
+
+func TestBlockageSeversLOS(t *testing.T) {
+	e := NewFreeSpace()
+	e.Blockers = []geom.Segment{{A: geom.Vec{X: 1, Y: -1}, B: geom.Vec{X: 1, Y: 1}}}
+	if _, ok := e.BestRay(geom.Vec{}, geom.Vec{X: 2, Y: 0}); ok {
+		t.Error("blocked link should have no rays")
+	}
+	if g := e.OneWayGainDB(geom.Vec{}, geom.Vec{X: 2, Y: 0}); !math.IsInf(g, -1) {
+		t.Errorf("blocked gain %g", g)
+	}
+}
+
+func TestNLOSRescuesBlockedLink(t *testing.T) {
+	// Paper §4: with LOS blocked, communication continues via a
+	// reflector.
+	e := NewFreeSpace()
+	e.Blockers = []geom.Segment{{A: geom.Vec{X: 1, Y: -0.5}, B: geom.Vec{X: 1, Y: 0.5}}}
+	e.Reflectors = []Reflector{{
+		Surface: geom.Segment{A: geom.Vec{X: -5, Y: 2}, B: geom.Vec{X: 7, Y: 2}},
+		LossDB:  6,
+	}}
+	ray, ok := e.BestRay(geom.Vec{}, geom.Vec{X: 2, Y: 0})
+	if !ok {
+		t.Fatal("NLOS path should exist")
+	}
+	if ray.Kind != NLOS {
+		t.Fatalf("expected NLOS ray, got %v", ray.Kind)
+	}
+	// Bounce point on the wall, path longer than direct.
+	if math.Abs(ray.Via.Y-2) > 1e-9 {
+		t.Errorf("bounce at %v, want on the y=2 wall", ray.Via)
+	}
+	if ray.LengthM <= 2 {
+		t.Errorf("NLOS length %g should exceed direct 2 m", ray.LengthM)
+	}
+	// NLOS gain = spreading at full path length + bounce loss.
+	wantDB := -units.FSPLDB(ray.LengthM, e.Wavelength()) - 6
+	gotDB := 20 * math.Log10(cmplx.Abs(ray.Gain))
+	if math.Abs(gotDB-wantDB) > 1e-9 {
+		t.Errorf("NLOS gain %g, want %g", gotDB, wantDB)
+	}
+}
+
+func TestLOSBeatsNLOSWhenBothExist(t *testing.T) {
+	e := NewFreeSpace()
+	e.Reflectors = []Reflector{{
+		Surface: geom.Segment{A: geom.Vec{X: -5, Y: 3}, B: geom.Vec{X: 7, Y: 3}},
+		LossDB:  1,
+	}}
+	ray, ok := e.BestRay(geom.Vec{}, geom.Vec{X: 2, Y: 0})
+	if !ok || ray.Kind != LOS {
+		t.Errorf("LOS should win: %+v ok=%v", ray, ok)
+	}
+	if len(e.Rays(geom.Vec{}, geom.Vec{X: 2, Y: 0})) != 2 {
+		t.Error("both rays should be resolved")
+	}
+}
+
+func TestRayAngles(t *testing.T) {
+	e := NewFreeSpace()
+	ray, _ := e.BestRay(geom.Vec{}, geom.Vec{X: 1, Y: 1})
+	if math.Abs(ray.DepartureRad-math.Pi/4) > 1e-12 {
+		t.Errorf("departure %g", ray.DepartureRad)
+	}
+	if math.Abs(geomWrap(ray.ArrivalRad-(-3*math.Pi/4))) > 1e-12 {
+		t.Errorf("arrival %g", ray.ArrivalRad)
+	}
+}
+
+func TestAtmosphericLoss(t *testing.T) {
+	dry := NewFreeSpace()
+	wet := NewFreeSpace()
+	wet.AtmosphericDBpKm = 1000 // absurdly lossy to make it visible at 3 m
+	g1 := dry.OneWayGainDB(geom.Vec{}, geom.Vec{X: 3, Y: 0})
+	g2 := wet.OneWayGainDB(geom.Vec{}, geom.Vec{X: 3, Y: 0})
+	if math.Abs((g1-g2)-3) > 1e-9 {
+		t.Errorf("absorption over 3 m at 1000 dB/km: %g dB, want 3", g1-g2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	e := NewFreeSpace()
+	if err := e.Validate(); err != nil {
+		t.Errorf("clean env: %v", err)
+	}
+	e.FreqHz = 0
+	if err := e.Validate(); err == nil {
+		t.Error("zero frequency should fail")
+	}
+	e = NewFreeSpace()
+	e.Reflectors = []Reflector{{Surface: geom.Segment{}}}
+	if err := e.Validate(); err == nil {
+		t.Error("degenerate reflector should fail")
+	}
+	e.Reflectors = []Reflector{{Surface: geom.Segment{B: geom.Vec{X: 1}}, LossDB: -2}}
+	if err := e.Validate(); err == nil {
+		t.Error("negative loss should fail")
+	}
+}
+
+func TestDoppler(t *testing.T) {
+	e := NewFreeSpace()
+	// 1 m/s receding at 24 GHz: f_d = −2·1/0.0125 ≈ −160 Hz.
+	fd := e.DopplerHz(1)
+	if math.Abs(fd+160.1) > 0.5 {
+		t.Errorf("Doppler %g Hz, want ≈ −160", fd)
+	}
+	if e.DopplerHz(-1) != -fd {
+		t.Error("Doppler should be antisymmetric in velocity")
+	}
+}
+
+func TestZeroDistance(t *testing.T) {
+	e := NewFreeSpace()
+	if rays := e.Rays(geom.Vec{}, geom.Vec{}); len(rays) != 0 {
+		t.Error("coincident endpoints should yield no rays")
+	}
+}

@@ -1,0 +1,102 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/geom"
+)
+
+func TestNewRoom(t *testing.T) {
+	env, err := NewRoom(-1, -2, 6, 4, Drywall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Reflectors) != 4 {
+		t.Fatalf("walls %d", len(env.Reflectors))
+	}
+	for _, r := range env.Reflectors {
+		if r.LossDB != Drywall.LossDB {
+			t.Error("wall material not applied")
+		}
+	}
+	// Interior link: 1 LOS + 4 single-bounce NLOS paths.
+	los, nlos := env.RayCount(geom.Vec{X: 0, Y: 0}, geom.Vec{X: 3, Y: 0.5})
+	if los != 1 {
+		t.Errorf("LOS count %d", los)
+	}
+	if nlos != 4 {
+		t.Errorf("NLOS count %d, want 4 (one per wall)", nlos)
+	}
+	if _, err := NewRoom(0, 0, 0, 4, Metal); err == nil {
+		t.Error("degenerate room should fail")
+	}
+}
+
+func TestRoomObstacleFallsBackToWalls(t *testing.T) {
+	env, _ := NewRoom(-1, -2, 8, 4, Metal)
+	src := geom.Vec{X: 0, Y: 0}
+	dst := geom.Vec{X: 4, Y: 0}
+	env.AddObstacle(geom.Vec{X: 2, Y: -0.5}, geom.Vec{X: 2, Y: 0.5})
+	los, nlos := env.RayCount(src, dst)
+	if los != 0 {
+		t.Error("obstacle should cut LOS")
+	}
+	if nlos == 0 {
+		t.Error("walls should still provide bounces")
+	}
+	best, ok := env.BestRay(src, dst)
+	if !ok || best.Kind != NLOS {
+		t.Fatalf("best ray: %+v ok=%v", best, ok)
+	}
+	// The bounce must be longer than the direct 4 m but bounded by the
+	// room geometry.
+	if best.LengthM <= 4 || best.LengthM > 12 {
+		t.Errorf("bounce length %g", best.LengthM)
+	}
+}
+
+func TestMaterialsOrdering(t *testing.T) {
+	// Loss ordering: metal < drywall < glass < concrete.
+	if !(Metal.LossDB < Drywall.LossDB && Drywall.LossDB < Glass.LossDB && Glass.LossDB < Concrete.LossDB) {
+		t.Error("material losses out of order")
+	}
+	for _, m := range []Material{Metal, Drywall, Glass, Concrete} {
+		if m.Name == "" || m.LossDB < 0 {
+			t.Errorf("material %+v", m)
+		}
+	}
+}
+
+func TestRoomLinkBudgetSanity(t *testing.T) {
+	// In a metal room the strongest wall bounce is within ~20 dB of LOS
+	// for a short link (geometry-dependent but bounded).
+	env, _ := NewRoom(-1, -2, 6, 4, Metal)
+	src := geom.Vec{X: 0, Y: 0}
+	dst := geom.Vec{X: 2, Y: 0}
+	rays := env.Rays(src, dst)
+	var losDB, bestNLOSDB float64
+	bestNLOSDB = math.Inf(-1)
+	for _, r := range rays {
+		db := 20 * math.Log10(absC(r.Gain))
+		if r.Kind == LOS {
+			losDB = db
+		} else if db > bestNLOSDB {
+			bestNLOSDB = db
+		}
+	}
+	if losDB <= bestNLOSDB {
+		t.Error("LOS should beat every bounce")
+	}
+	if losDB-bestNLOSDB > 25 {
+		t.Errorf("best bounce %g dB below LOS — implausible in a small metal room", losDB-bestNLOSDB)
+	}
+}
+
+func absC(c complex128) float64 {
+	re, im := real(c), imag(c)
+	return math.Hypot(re, im)
+}

@@ -1,0 +1,186 @@
+package coding
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+func TestHammingRoundTrip(t *testing.T) {
+	h := Hamming74{}
+	src := rng.New(1)
+	data := src.Bits(make([]byte, 400))
+	code, err := h.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 700 {
+		t.Fatalf("code length %d", len(code))
+	}
+	got, corrected, err := h.Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 0 {
+		t.Errorf("clean decode corrected %d", corrected)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	if math.Abs(h.Rate()-4.0/7.0) > 1e-15 {
+		t.Error("rate")
+	}
+}
+
+func TestHammingCorrectsSingleErrors(t *testing.T) {
+	// Flip every single position of every codeword: all must correct.
+	h := Hamming74{}
+	src := rng.New(2)
+	data := src.Bits(make([]byte, 40))
+	code, _ := h.Encode(data)
+	for pos := 0; pos < len(code); pos++ {
+		bad := append([]byte{}, code...)
+		bad[pos] ^= 1
+		got, corrected, err := h.Decode(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrected != 1 {
+			t.Fatalf("pos %d: corrected %d", pos, corrected)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pos %d: data corrupted", pos)
+		}
+	}
+}
+
+func TestHammingDoubleErrorsFail(t *testing.T) {
+	// Two errors in one codeword exceed the code's strength: the decode
+	// must (generally) produce wrong data — this documents the limit.
+	h := Hamming74{}
+	data := []byte{1, 0, 1, 1}
+	code, _ := h.Encode(data)
+	wrong := 0
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			bad := append([]byte{}, code...)
+			bad[i] ^= 1
+			bad[j] ^= 1
+			got, _, err := h.Decode(bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				wrong++
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Error("double errors should defeat Hamming(7,4)")
+	}
+}
+
+func TestHammingValidation(t *testing.T) {
+	h := Hamming74{}
+	if _, err := h.Encode(make([]byte, 5)); err == nil {
+		t.Error("non-multiple-of-4 should fail")
+	}
+	if _, err := h.Encode([]byte{0, 1, 2, 0}); err == nil {
+		t.Error("bad bit should fail")
+	}
+	if _, _, err := h.Decode(make([]byte, 6)); err == nil {
+		t.Error("non-multiple-of-7 should fail")
+	}
+	if _, _, err := h.Decode([]byte{0, 1, 2, 0, 0, 0, 0}); err == nil {
+		t.Error("bad code bit should fail")
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		iv := Interleaver{Rows: 7, Cols: 8}
+		bits := src.Bits(make([]byte, iv.BlockSize()*3))
+		il, err := iv.Interleave(bits)
+		if err != nil {
+			return false
+		}
+		back, err := iv.Deinterleave(il)
+		return err == nil && bytes.Equal(back, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverSpreadsBursts(t *testing.T) {
+	// A burst of `rows` consecutive channel errors must land in distinct
+	// codewords after deinterleaving: combined with Hamming, the whole
+	// burst corrects.
+	h := Hamming74{}
+	iv := Interleaver{Rows: 7, Cols: 7} // one block = 7 codewords
+	src := rng.New(3)
+	data := src.Bits(make([]byte, 28)) // 7 codewords of data
+	code, _ := h.Encode(data)
+	il, err := iv.Interleave(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst of 7 consecutive errors on the channel.
+	for i := 10; i < 17; i++ {
+		il[i] ^= 1
+	}
+	deil, _ := iv.Deinterleave(il)
+	got, corrected, err := h.Decode(deil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 7 {
+		t.Errorf("corrected %d, want 7", corrected)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("burst not corrected")
+	}
+	// Without interleaving the same burst kills multiple bits in the same
+	// codewords.
+	bad := append([]byte{}, code...)
+	for i := 10; i < 17; i++ {
+		bad[i] ^= 1
+	}
+	got2, _, _ := h.Decode(bad)
+	if bytes.Equal(got2, data) {
+		t.Error("uninterleaved burst unexpectedly corrected (flukes possible but not with this seed)")
+	}
+}
+
+func TestInterleaverValidation(t *testing.T) {
+	iv := Interleaver{Rows: 0, Cols: 4}
+	if _, err := iv.Interleave(make([]byte, 4)); err == nil {
+		t.Error("zero rows should fail")
+	}
+	iv = Interleaver{Rows: 2, Cols: 3}
+	if _, err := iv.Interleave(make([]byte, 7)); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+	if _, err := iv.Deinterleave(make([]byte, 7)); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	bits, pad := PadTo([]byte{1, 1, 1}, 4)
+	if pad != 1 || len(bits) != 4 || bits[3] != 0 {
+		t.Errorf("pad: %v %d", bits, pad)
+	}
+	bits, pad = PadTo([]byte{1, 1, 1, 1}, 4)
+	if pad != 0 || len(bits) != 4 {
+		t.Error("no-op pad failed")
+	}
+	_, pad = PadTo(nil, 0)
+	if pad != 0 {
+		t.Error("m=0 pad")
+	}
+}

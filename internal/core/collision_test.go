@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+func TestCollisionMotivatesMAC(t *testing.T) {
+	// Two co-located tags at 3 ft / 20 MHz (huge SNR): simultaneous
+	// response must corrupt (the §9 collision problem), staggered slots
+	// must recover both cleanly.
+	l, err := NewDefaultLink(units.FeetToMeters(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(21)
+	res, err := l.RunCollision([]byte("tag A says this"), []byte("tag B says that"), l.Reader.Bandwidths[2], src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimultaneousDecoded {
+		t.Errorf("superposed bursts decoded as tag %04x — collision should corrupt", res.DecodedTagID)
+	}
+	if !res.StaggeredOK {
+		t.Errorf("staggered slots should recover both tags: %v", res.StaggeredIDs)
+	}
+}
+
+func TestCollisionAcrossSeeds(t *testing.T) {
+	// The collision outcome must not be a fluke of one noise draw.
+	passed := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		l, _ := NewDefaultLink(units.FeetToMeters(3))
+		res, err := l.RunCollision([]byte("AAAA"), []byte("BBBB"), l.Reader.Bandwidths[2], rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SimultaneousDecoded && res.StaggeredOK {
+			passed++
+		}
+	}
+	if passed < 4 {
+		t.Errorf("collision experiment only consistent in %d/5 seeds", passed)
+	}
+}
+
+func TestCollisionSevered(t *testing.T) {
+	l, _ := NewDefaultLink(2)
+	l.Env.Blockers = append(l.Env.Blockers, blockerAt(1))
+	if _, err := l.RunCollision([]byte("a"), []byte("b"), l.Reader.Bandwidths[2], rng.New(1)); err == nil {
+		t.Error("severed link should error")
+	}
+}
+
+// blockerAt returns a small vertical wall at x.
+func blockerAt(x float64) geom.Segment {
+	return geom.Segment{A: geom.Vec{X: x, Y: -1}, B: geom.Vec{X: x, Y: 1}}
+}

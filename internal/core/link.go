@@ -1,0 +1,340 @@
+// Package core assembles the complete mmTag system of the paper: a reader
+// and one or more retrodirective tags in a propagation environment, with
+// two simulation fidelities —
+//
+//   - a link-budget path (Budget) that computes received tag power, SNR
+//     per receiver bandwidth and the achievable data rate exactly the way
+//     paper Fig. 7 does, and
+//   - a waveform path (RunWaveform) that synthesizes the tag's modulated
+//     backscatter at complex baseband, pushes it through the channel,
+//     self-interference and receiver noise, and runs the full
+//     sync/demod/decode pipeline.
+//
+// The two paths share every constant, so the budget's predictions are
+// testable against the waveform's measurements.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/mmtag/mmtag/internal/channel"
+	"github.com/mmtag/mmtag/internal/frame"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/reader"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// CalibrationLossDB lumps the tag losses the analytic aperture model does
+// not capture — modulation conversion loss, polarization mismatch, switch
+// insertion loss, feed-network loss. Its value is calibrated once so the
+// default link reproduces paper Fig. 7 (≈ −65 dBm at 4 ft, giving 1 Gb/s
+// at 4 ft and 10 Mb/s at 10 ft); see EXPERIMENTS.md.
+const CalibrationLossDB = 20.0
+
+// SamplesPerSymbol is the waveform path's oversampling (sample rate =
+// SamplesPerSymbol × symbol rate).
+const SamplesPerSymbol = 4
+
+// Link is one reader–tag pair in an environment.
+type Link struct {
+	// Reader holds the RF configuration.
+	Reader reader.Config
+	// Antenna is the reader's steerable antenna (both TX and RX — the
+	// monostatic setup of paper Fig. 2).
+	Antenna reader.Antenna
+	// ReaderPose is the reader's position/heading.
+	ReaderPose geom.Pose
+	// BeamRad is the commanded beam direction (global frame).
+	BeamRad float64
+	// Tag is the backscatter device.
+	Tag *tag.Tag
+	// Env is the propagation environment.
+	Env *channel.Environment
+	// Fading, when non-nil, multiplies Rician small-scale fading into
+	// the waveform path (the budget path stays mean-power).
+	Fading *channel.Fading
+}
+
+// NewDefaultLink places a paper-default reader at the origin looking down
+// +X and a 6-element tag at rangeM meters facing back, in free space.
+func NewDefaultLink(rangeM float64) (*Link, error) {
+	if rangeM <= 0 {
+		return nil, fmt.Errorf("core: range must be positive, got %g", rangeM)
+	}
+	tg, err := tag.New(1, geom.Pose{Pos: geom.Vec{X: rangeM}, Heading: math.Pi})
+	if err != nil {
+		return nil, err
+	}
+	return &Link{
+		Reader:     reader.DefaultConfig(),
+		Antenna:    reader.DefaultHorn(),
+		ReaderPose: geom.Pose{},
+		BeamRad:    0,
+		Tag:        tg,
+		Env:        channel.NewFreeSpace(),
+	}, nil
+}
+
+// Validate checks the link configuration.
+func (l *Link) Validate() error {
+	if err := l.Reader.Validate(); err != nil {
+		return err
+	}
+	if l.Antenna == nil {
+		return fmt.Errorf("core: nil reader antenna")
+	}
+	if l.Tag == nil {
+		return fmt.Errorf("core: nil tag")
+	}
+	if err := l.Tag.Validate(); err != nil {
+		return err
+	}
+	if l.Env == nil {
+		return fmt.Errorf("core: nil environment")
+	}
+	return l.Env.Validate()
+}
+
+// Budget is the link-budget breakdown for one geometry.
+type Budget struct {
+	// RangeM is the ray path length (meters).
+	RangeM float64
+	// Ray is the propagation path used.
+	Ray channel.Ray
+	// TXGainDB / RXGainDB are the reader antenna gains along the ray.
+	TXGainDB, RXGainDB float64
+	// TagBearingRad is the incidence angle in the tag's frame.
+	TagBearingRad float64
+	// TagResponseDB is 20·log10|α0|: the tag's two-pass aperture response
+	// (2×retro gain + through losses).
+	TagResponseDB float64
+	// ReceivedDBm is the tag signal power at the reader.
+	ReceivedDBm float64
+	// SNRdB holds the SNR per configured receiver bandwidth.
+	SNRdB map[string]float64
+	// RateBps is the achievable OOK rate by the paper's table.
+	RateBps float64
+	// RateBandwidth is the bandwidth carrying RateBps.
+	RateBandwidth units.ReaderBandwidth
+	// Linked is false when no bandwidth clears the threshold (or the
+	// path is severed).
+	Linked bool
+	// Severed is true when there is no propagation path at all (or the
+	// tag cannot scatter toward the ray).
+	Severed bool
+}
+
+// ComputeBudget evaluates the link budget for the current geometry.
+func (l *Link) ComputeBudget() (Budget, error) {
+	if err := l.Validate(); err != nil {
+		return Budget{}, err
+	}
+	var b Budget
+	ray, ok := l.Env.BestRay(l.ReaderPose.Pos, l.Tag.Pose.Pos)
+	if !ok {
+		return Budget{Severed: true, SNRdB: map[string]float64{}}, nil
+	}
+	b.Ray = ray
+	b.RangeM = ray.LengthM
+	b.TXGainDB = l.Antenna.GainDBi(l.BeamRad, ray.DepartureRad)
+	b.RXGainDB = b.TXGainDB // monostatic: same aperture, same steering
+	b.TagBearingRad = geom.WrapAngle(ray.ArrivalRad - l.Tag.Pose.Heading)
+	alpha0, _ := l.Tag.ReflectionStates(b.TagBearingRad, l.Reader.FreqHz)
+	am := cmplx.Abs(alpha0)
+	if am == 0 {
+		return Budget{Severed: true, SNRdB: map[string]float64{}}, nil
+	}
+	b.TagResponseDB = 20 * math.Log10(am)
+	rayDB := 40 * math.Log10(cmplx.Abs(ray.Gain)) // two passes over the ray
+	b.ReceivedDBm = l.Reader.TXPowerDBm() + b.TXGainDB + b.RXGainDB +
+		b.TagResponseDB + rayDB - CalibrationLossDB
+	b.SNRdB = make(map[string]float64, len(l.Reader.Bandwidths))
+	for _, bw := range l.Reader.Bandwidths {
+		b.SNRdB[bw.Label] = b.ReceivedDBm - l.Reader.NoiseFloorDBm(bw.BandwidthHz)
+	}
+	b.RateBps, b.RateBandwidth, b.Linked = l.Reader.BestRate(b.ReceivedDBm)
+	return b, nil
+}
+
+// ExpectedDecisionSNRdB converts a budget SNR to the matched-filter
+// decision SNR the waveform path measures. Two 3 dB effects cancel
+// exactly: the decision noise lives in the symbol bandwidth (half the
+// receiver bandwidth, +3 dB), while the measured average symbol power is
+// half the '0'-state power the budget quotes because half the OOK symbols
+// are "off" (−3 dB). The prediction is therefore the budget SNR itself.
+func ExpectedDecisionSNRdB(budgetSNRdB float64) float64 {
+	return budgetSNRdB
+}
+
+// WaveformResult reports one waveform-level burst exchange.
+type WaveformResult struct {
+	// Budget is the analytic prediction for the same geometry.
+	Budget Budget
+	// Decoded is true when the frame CRC verified.
+	Decoded bool
+	// TagID is the decoded tag identity (valid when Decoded).
+	TagID uint16
+	// Payload is the decoded payload (valid when Decoded).
+	Payload []byte
+	// BitErrors counts payload bit flips against the transmitted truth.
+	BitErrors int
+	// TotalBits is the number of compared bits.
+	TotalBits int
+	// MeasuredSNRdB is the decision-domain SNR estimate.
+	MeasuredSNRdB float64
+	// ExpectedSNRdB is the budget's prediction of MeasuredSNRdB.
+	ExpectedSNRdB float64
+}
+
+// RunWaveform synthesizes, transmits and decodes one tag burst carrying
+// payload through the selected receiver bandwidth, with AWGN and TX
+// leakage, returning measured quality against the budget's predictions.
+// The payload is OOK; see RunWaveformMCS for multi-level schemes.
+func (l *Link) RunWaveform(payload []byte, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
+	return l.RunWaveformMCS(payload, frame.MCSOOK, bw, src)
+}
+
+// Capture is a synthesized receiver capture: the raw complex-baseband
+// samples a reader front end would hand to its DSP, plus the metadata
+// needed to decode them. It can be persisted with the iqfile package.
+type Capture struct {
+	// Samples is the leakage-calibrated baseband capture.
+	Samples []complex128
+	// SampleRateHz is the capture's complex sample rate.
+	SampleRateHz float64
+	// Budget is the analytic operating point.
+	Budget Budget
+	// BandwidthLabel names the receiver bandwidth used.
+	BandwidthLabel string
+}
+
+// CaptureWaveform synthesizes the receiver capture for one burst without
+// decoding it: tag frame + switch waveform, channel scaling, optional
+// fading, TX leakage, receiver noise, and the pre-burst leakage
+// calibration. RunWaveformMCS = CaptureWaveform + reader.DecodeBurst.
+func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (Capture, error) {
+	var cap Capture
+	b, err := l.ComputeBudget()
+	if err != nil {
+		return cap, err
+	}
+	cap.Budget = b
+	cap.BandwidthLabel = bw.Label
+	if b.Severed {
+		return cap, fmt.Errorf("core: link severed (no propagation path)")
+	}
+
+	// Tag side: frame + symbols at the operating point.
+	syms, err := l.Tag.BurstMCS(payload, mcs, b.TagBearingRad, l.Reader.FreqHz)
+	if err != nil {
+		return cap, err
+	}
+	w, err := phy.NewRectWaveform(SamplesPerSymbol)
+	if err != nil {
+		return cap, err
+	}
+	tx := w.Synthesize(syms)
+
+	// Scale: a '0' symbol (amplitude 1) arrives at the reader with power
+	// b.ReceivedDBm. Work in √W amplitudes.
+	amp := math.Sqrt(units.DBmToWatts(b.ReceivedDBm))
+	carrier := cmplx.Rect(amp, -0.4) // deterministic unknown carrier phase
+	rxLen := len(tx) + 40*SamplesPerSymbol
+	rx := make([]complex128, rxLen)
+	lead := 16 * SamplesPerSymbol
+	for i, v := range tx {
+		rx[lead+i] = v * carrier
+	}
+	if l.Fading != nil {
+		series, err := l.Fading.Series(len(tx), bw.BandwidthHz*units.OOKSpectralEfficiency*SamplesPerSymbol, src)
+		if err != nil {
+			return cap, err
+		}
+		channel.Apply(rx[lead:lead+len(tx)], series)
+	}
+	// TX leakage: a DC term at baseband.
+	leak := cmplx.Rect(math.Sqrt(units.DBmToWatts(l.Reader.SelfInterferenceDBm())), 0.9)
+	for i := range rx {
+		rx[i] += leak
+	}
+	// Receiver noise over the sampled band: the sample rate is
+	// SamplesPerSymbol × symbol rate = (SamplesPerSymbol/2) × bw. The
+	// symbol rate is half the receiver bandwidth for every scheme.
+	symbolRate := bw.BandwidthHz * units.OOKSpectralEfficiency
+	sampleRate := symbolRate * SamplesPerSymbol
+	cap.SampleRateHz = sampleRate
+	noiseW := units.DBmToWatts(units.ThermalNoiseDensityDBmHz(l.Reader.TemperatureK)+
+		l.Reader.NoiseFigureDB) * sampleRate
+	// Residual self-interference: the calibration below removes the
+	// static leakage, but oscillator phase noise decorrelates part of it
+	// into in-band noise bounded by LeakageCancellationDB.
+	residualW := units.DBmToWatts(l.Reader.ResidualLeakageDBm())
+	src.AWGN(rx, noiseW+residualW)
+
+	// Cancel the static TX leakage: the tag holds its switches on
+	// (absorbing) while idle, so the pre-burst capture contains only the
+	// leakage plus noise, and its mean calibrates the leakage out without
+	// touching the burst's own OOK structure.
+	var mean complex128
+	pre := lead / 2
+	for _, v := range rx[:pre] {
+		mean += v
+	}
+	mean /= complex(float64(pre), 0)
+	for i := range rx {
+		rx[i] -= mean
+	}
+	cap.Samples = rx
+	return cap, nil
+}
+
+// RunWaveformMCS is RunWaveform with an explicit payload modulation:
+// MCSOOK (1 bit/symbol) or MCSASK4 (2 bits/symbol, realized by driving
+// subsets of the tag's Van Atta pairs). The symbol rate is always half
+// the receiver bandwidth, so 4-ASK doubles the bit rate at the cost of a
+// tighter SNR requirement.
+func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
+	var res WaveformResult
+	cap, err := l.CaptureWaveform(payload, mcs, bw, src)
+	res.Budget = cap.Budget
+	if err != nil {
+		return res, err
+	}
+	res.ExpectedSNRdB = ExpectedDecisionSNRdB(cap.Budget.SNRdB[bw.Label])
+	w, err := phy.NewRectWaveform(SamplesPerSymbol)
+	if err != nil {
+		return res, err
+	}
+	rx := cap.Samples
+	dec, stats, err := reader.DecodeBurst(rx, w)
+	if err != nil {
+		// Failure to decode is a measurement outcome, not an API error:
+		// report every payload bit as lost.
+		res.Decoded = false
+		res.TotalBits = 8 * len(payload)
+		res.BitErrors = res.TotalBits
+		return res, nil //nolint:nilerr
+	}
+	res.MeasuredSNRdB = stats.SNRdBEst
+	res.Decoded = dec.Trailer.OK
+	res.TagID = dec.Header.TagID
+	res.Payload = append([]byte{}, dec.Payload.Data...)
+	// Bit-error accounting against the transmitted payload.
+	res.TotalBits = 8 * len(payload)
+	if len(dec.Payload.Data) == len(payload) {
+		for i := range payload {
+			x := dec.Payload.Data[i] ^ payload[i]
+			for ; x != 0; x &= x - 1 {
+				res.BitErrors++
+			}
+		}
+	} else {
+		res.BitErrors = res.TotalBits
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/channel"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/reader"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// Network is one reader serving multiple tags — the multi-tag setting of
+// paper §9, served by Spatial Division Multiplexing: the reader steers its
+// beam and reads tags sector by sector.
+type Network struct {
+	Reader     reader.Config
+	Antenna    reader.Antenna
+	ReaderPose geom.Pose
+	Env        *channel.Environment
+	Tags       []*tag.Tag
+}
+
+// NewDefaultNetwork returns a paper-default reader at the origin with the
+// given tags in free space.
+func NewDefaultNetwork(tags ...*tag.Tag) *Network {
+	return &Network{
+		Reader:     reader.DefaultConfig(),
+		Antenna:    reader.DefaultHorn(),
+		ReaderPose: geom.Pose{},
+		Env:        channel.NewFreeSpace(),
+		Tags:       tags,
+	}
+}
+
+// linkFor builds the single-tag view for a beam direction.
+func (n *Network) linkFor(t *tag.Tag, beam float64) *Link {
+	return &Link{
+		Reader:     n.Reader,
+		Antenna:    n.Antenna,
+		ReaderPose: n.ReaderPose,
+		BeamRad:    beam,
+		Tag:        t,
+		Env:        n.Env,
+	}
+}
+
+// TagReading is one tag observed during a scan.
+type TagReading struct {
+	TagID       uint16
+	ReceivedDBm float64
+	RateBps     float64
+	Budget      Budget
+}
+
+// BeamReading is the outcome of dwelling on one beam.
+type BeamReading struct {
+	BeamRad float64
+	// Tags lists every tag whose backscatter clears the detection
+	// threshold in this beam, strongest first.
+	Tags []TagReading
+}
+
+// DetectionThresholdDBm returns the minimum received power at which the
+// reader can detect a tag at all: the narrowest configured bandwidth's
+// floor plus the ASK demodulation SNR.
+func (n *Network) DetectionThresholdDBm() float64 {
+	minBW := math.Inf(1)
+	for _, b := range n.Reader.Bandwidths {
+		minBW = math.Min(minBW, b.BandwidthHz)
+	}
+	return n.Reader.NoiseFloorDBm(minBW) + units.ASKRequiredSNRdB
+}
+
+// Scan dwells on every beam of the codebook and reports the tags detected
+// in each — paper Fig. 2's scan loop.
+func (n *Network) Scan(cb antenna.Codebook) ([]BeamReading, error) {
+	if len(cb.Angles) == 0 {
+		return nil, fmt.Errorf("core: empty codebook")
+	}
+	thresh := n.DetectionThresholdDBm()
+	out := make([]BeamReading, 0, len(cb.Angles))
+	for _, beam := range cb.Angles {
+		br := BeamReading{BeamRad: beam}
+		for _, t := range n.Tags {
+			b, err := n.linkFor(t, beam).ComputeBudget()
+			if err != nil {
+				return nil, err
+			}
+			if b.SNRdB == nil || b.ReceivedDBm < thresh || !b.Linked {
+				continue
+			}
+			br.Tags = append(br.Tags, TagReading{
+				TagID:       t.ID,
+				ReceivedDBm: b.ReceivedDBm,
+				RateBps:     b.RateBps,
+				Budget:      b,
+			})
+		}
+		// Strongest first.
+		for i := 1; i < len(br.Tags); i++ {
+			for j := i; j > 0 && br.Tags[j].ReceivedDBm > br.Tags[j-1].ReceivedDBm; j-- {
+				br.Tags[j], br.Tags[j-1] = br.Tags[j-1], br.Tags[j]
+			}
+		}
+		out = append(out, br)
+	}
+	return out, nil
+}
+
+// BestBeamFor returns the codebook beam maximizing the received power for
+// one tag — the reader-side half of beam alignment (the tag side needs no
+// search at all; that is the paper's contribution).
+func (n *Network) BestBeamFor(t *tag.Tag, cb antenna.Codebook) (beamRad float64, prDBm float64, err error) {
+	if len(cb.Angles) == 0 {
+		return 0, 0, fmt.Errorf("core: empty codebook")
+	}
+	best := math.Inf(-1)
+	bestBeam := cb.Angles[0]
+	for _, beam := range cb.Angles {
+		b, err := n.linkFor(t, beam).ComputeBudget()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b.SNRdB != nil && b.ReceivedDBm > best {
+			best = b.ReceivedDBm
+			bestBeam = beam
+		}
+	}
+	return bestBeam, best, nil
+}

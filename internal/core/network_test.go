@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// tagAt places a default tag at range r and global angle theta, facing
+// the reader at the origin.
+func tagAt(t *testing.T, id uint16, r, theta float64) *tag.Tag {
+	t.Helper()
+	pos := geom.FromPolar(r, theta)
+	tg, err := tag.New(id, geom.Pose{Pos: pos, Heading: geom.WrapAngle(theta + math.Pi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestScanFindsTagsInTheirBeams(t *testing.T) {
+	r := units.FeetToMeters(4)
+	t1 := tagAt(t, 1, r, 0.35)
+	t2 := tagAt(t, 2, r, -0.35)
+	n := NewDefaultNetwork(t1, t2)
+	cb, err := antenna.UniformCodebook(-math.Pi/3, math.Pi/3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := n.Scan(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 12 {
+		t.Fatalf("beam count %d", len(readings))
+	}
+	seen := map[uint16]float64{} // tag → best beam angle
+	best := map[uint16]float64{}
+	for _, br := range readings {
+		for _, tr := range br.Tags {
+			if tr.ReceivedDBm > best[tr.TagID] || seen[tr.TagID] == 0 {
+				if cur, ok := best[tr.TagID]; !ok || tr.ReceivedDBm > cur {
+					best[tr.TagID] = tr.ReceivedDBm
+					seen[tr.TagID] = br.BeamRad
+				}
+			}
+		}
+	}
+	if len(best) != 2 {
+		t.Fatalf("detected %d tags, want 2", len(best))
+	}
+	if math.Abs(seen[1]-0.35) > 0.2 {
+		t.Errorf("tag 1 best beam %g, want ≈0.35", seen[1])
+	}
+	if math.Abs(seen[2]+0.35) > 0.2 {
+		t.Errorf("tag 2 best beam %g, want ≈−0.35", seen[2])
+	}
+}
+
+func TestScanBeamSeparatesTags(t *testing.T) {
+	// Two tags a beamwidth apart must not both appear (strongly) in the
+	// same beam — the SDM premise.
+	r := units.FeetToMeters(4)
+	t1 := tagAt(t, 1, r, 0.45)
+	t2 := tagAt(t, 2, r, -0.45)
+	n := NewDefaultNetwork(t1, t2)
+	cb, _ := antenna.UniformCodebook(-math.Pi/3, math.Pi/3, 16)
+	readings, _ := n.Scan(cb)
+	for _, br := range readings {
+		if len(br.Tags) == 2 {
+			// Both visible: the weaker must be well below the stronger.
+			gap := br.Tags[0].ReceivedDBm - br.Tags[1].ReceivedDBm
+			if gap < 10 {
+				t.Errorf("beam %g sees both tags within %g dB", br.BeamRad, gap)
+			}
+		}
+	}
+}
+
+func TestScanSortsStrongestFirst(t *testing.T) {
+	// Same direction, different ranges: both in one beam, nearer first.
+	t1 := tagAt(t, 1, units.FeetToMeters(4), 0)
+	t2 := tagAt(t, 2, units.FeetToMeters(8), 0)
+	n := NewDefaultNetwork(t1, t2)
+	cb := antenna.Codebook{Angles: []float64{0}}
+	readings, _ := n.Scan(cb)
+	if len(readings[0].Tags) != 2 {
+		t.Fatalf("beam should see both tags, saw %d", len(readings[0].Tags))
+	}
+	if readings[0].Tags[0].TagID != 1 {
+		t.Error("nearer tag should sort first")
+	}
+	if readings[0].Tags[0].ReceivedDBm <= readings[0].Tags[1].ReceivedDBm {
+		t.Error("sort order violated")
+	}
+}
+
+func TestScanEmptyCodebook(t *testing.T) {
+	n := NewDefaultNetwork()
+	if _, err := n.Scan(antenna.Codebook{}); err == nil {
+		t.Error("empty codebook should fail")
+	}
+	if _, _, err := n.BestBeamFor(nil, antenna.Codebook{}); err == nil {
+		t.Error("empty codebook should fail for BestBeamFor")
+	}
+}
+
+func TestBestBeamFor(t *testing.T) {
+	tg := tagAt(t, 9, units.FeetToMeters(5), 0.3)
+	n := NewDefaultNetwork(tg)
+	cb, _ := antenna.UniformCodebook(-1, 1, 32)
+	beam, pr, err := n.BestBeamFor(tg, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beam-0.3) > 0.1 {
+		t.Errorf("best beam %g, want ≈0.3", beam)
+	}
+	if pr < -80 || pr > -40 {
+		t.Errorf("best-beam power %g dBm implausible", pr)
+	}
+}
+
+func TestDetectionThreshold(t *testing.T) {
+	n := NewDefaultNetwork()
+	// 20 MHz floor (−95.8) + 7 dB ≈ −88.8 dBm.
+	if got := n.DetectionThresholdDBm(); math.Abs(got+88.8) > 0.2 {
+		t.Errorf("detection threshold %g", got)
+	}
+}
+
+func TestFarTagUndetected(t *testing.T) {
+	far := tagAt(t, 3, units.FeetToMeters(60), 0)
+	n := NewDefaultNetwork(far)
+	cb := antenna.Codebook{Angles: []float64{0}}
+	readings, _ := n.Scan(cb)
+	if len(readings[0].Tags) != 0 {
+		t.Error("a 60 ft tag should be below the detection threshold")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/sim"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// TrackConfig parameterizes a mobility run: a tag walks a path while the
+// reader tracks it with its best scan beam and the link budget is sampled
+// on a fixed cadence — the paper's mobility story (the tag never
+// realigns; only the reader re-scans).
+type TrackConfig struct {
+	// Walk is the tag's path.
+	Walk sim.Mobility
+	// TagHeading is the tag's (fixed) boresight heading; the aperture's
+	// retrodirectivity makes its exact value non-critical.
+	TagHeading float64
+	// Codebook is the reader's scan beam set.
+	Codebook antenna.Codebook
+	// SampleInterval is the trace cadence in seconds (default 1).
+	SampleInterval float64
+	// TagElements is the aperture size (default 6).
+	TagElements int
+}
+
+// TrackSample is one instant of the run.
+type TrackSample struct {
+	TimeS       float64
+	Pos         geom.Vec
+	RangeFt     float64
+	BeamRad     float64
+	ReceivedDBm float64
+	RateBps     float64
+	// TagPowerW is the modulation draw at RateBps.
+	TagPowerW float64
+}
+
+// TrackResult is the whole run.
+type TrackResult struct {
+	Samples []TrackSample
+	// MinRate/MeanRate/MaxRate summarize the streamed rate.
+	MinRate, MeanRate, MaxRate float64
+	// Trace is the CSV-able time series.
+	Trace *sim.Trace
+}
+
+// RunTrack executes the mobility run against a paper-default reader in
+// free space.
+func RunTrack(cfg TrackConfig) (TrackResult, error) {
+	var res TrackResult
+	if len(cfg.Walk.Waypoints) == 0 {
+		return res, fmt.Errorf("core: track needs waypoints")
+	}
+	if cfg.Codebook.Size() == 0 {
+		return res, fmt.Errorf("core: track needs a codebook")
+	}
+	interval := cfg.SampleInterval
+	if interval <= 0 {
+		interval = 1
+	}
+	elems := cfg.TagElements
+	if elems == 0 {
+		elems = 6
+	}
+	res.Trace = sim.NewTrace("t_s", "range_ft", "beam_deg", "pr_dbm", "rate_bps", "tag_uw")
+	res.MinRate = math.Inf(1)
+	var rateSum float64
+	end := cfg.Walk.Duration()
+	for t := 0.0; t <= end+1e-9; t += interval {
+		pos := cfg.Walk.PositionAt(t)
+		tg, err := tag.NewWithElements(1, geom.Pose{Pos: pos, Heading: cfg.TagHeading}, elems, 24e9)
+		if err != nil {
+			return res, err
+		}
+		net := NewDefaultNetwork(tg)
+		beam, _, err := net.BestBeamFor(tg, cfg.Codebook)
+		if err != nil {
+			return res, err
+		}
+		link := net.linkFor(tg, beam)
+		b, err := link.ComputeBudget()
+		if err != nil {
+			return res, err
+		}
+		s := TrackSample{
+			TimeS:       t,
+			Pos:         pos,
+			RangeFt:     units.MetersToFeet(b.RangeM),
+			BeamRad:     beam,
+			ReceivedDBm: b.ReceivedDBm,
+			RateBps:     b.RateBps,
+			TagPowerW:   tg.Energy.PowerAtBitrateW(b.RateBps),
+		}
+		res.Samples = append(res.Samples, s)
+		if err := res.Trace.Add(t, s.RangeFt, beam*180/math.Pi, s.ReceivedDBm, s.RateBps, s.TagPowerW*1e6); err != nil {
+			return res, err
+		}
+		res.MinRate = math.Min(res.MinRate, s.RateBps)
+		res.MaxRate = math.Max(res.MaxRate, s.RateBps)
+		rateSum += s.RateBps
+	}
+	if n := len(res.Samples); n > 0 {
+		res.MeanRate = rateSum / float64(n)
+	}
+	return res, nil
+}

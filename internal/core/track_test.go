@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/sim"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+func trackConfig(t *testing.T) TrackConfig {
+	t.Helper()
+	cb, err := antenna.UniformCodebook(-math.Pi/2, math.Pi/2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TrackConfig{
+		Walk: sim.Mobility{
+			Waypoints: []geom.Vec{
+				{X: units.FeetToMeters(10), Y: units.FeetToMeters(3)},
+				{X: units.FeetToMeters(4), Y: 0},
+				{X: units.FeetToMeters(10), Y: -units.FeetToMeters(3)},
+			},
+			SpeedMps: 0.5,
+		},
+		TagHeading: math.Pi,
+		Codebook:   cb,
+	}
+}
+
+func TestRunTrack(t *testing.T) {
+	res, err := RunTrack(trackConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 5 {
+		t.Fatalf("samples %d", len(res.Samples))
+	}
+	// Rates bounded and summarized consistently.
+	if res.MinRate > res.MeanRate || res.MeanRate > res.MaxRate {
+		t.Errorf("rate summary inconsistent: %g %g %g", res.MinRate, res.MeanRate, res.MaxRate)
+	}
+	// The walk passes through 4 ft: peak rate must reach 1 Gb/s there.
+	if res.MaxRate < 1e9 {
+		t.Errorf("max rate %g, want ≥ 1 Gb/s at closest approach", res.MaxRate)
+	}
+	// Link never dies along this path (max range 10.4 ft).
+	if res.MinRate < 1e7 {
+		t.Errorf("min rate %g, want ≥ 10 Mb/s", res.MinRate)
+	}
+	// The tracked beam follows the tag: beams at the start (tag at +y)
+	// and end (tag at −y) have opposite signs.
+	first := res.Samples[0].BeamRad
+	last := res.Samples[len(res.Samples)-1].BeamRad
+	if !(first > 0 && last < 0) {
+		t.Errorf("beam did not track: first %g, last %g", first, last)
+	}
+	// Trace renders CSV with a header.
+	csv := res.Trace.CSV()
+	if !strings.HasPrefix(csv, "t_s,") || res.Trace.Len() != len(res.Samples) {
+		t.Error("trace mismatch")
+	}
+}
+
+func TestRunTrackValidation(t *testing.T) {
+	cfg := trackConfig(t)
+	cfg.Walk.Waypoints = nil
+	if _, err := RunTrack(cfg); err == nil {
+		t.Error("no waypoints should fail")
+	}
+	cfg = trackConfig(t)
+	cfg.Codebook = antenna.Codebook{}
+	if _, err := RunTrack(cfg); err == nil {
+		t.Error("empty codebook should fail")
+	}
+}
+
+func TestRunTrackElementCount(t *testing.T) {
+	cfg := trackConfig(t)
+	cfg.TagElements = 12
+	big, err := RunTrack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TagElements = 0 // default 6
+	small, err := RunTrack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger aperture, better or equal worst-case rate.
+	if big.MinRate < small.MinRate {
+		t.Errorf("12-element track should not underperform: %g vs %g", big.MinRate, small.MinRate)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dsp implements the complex-baseband signal processing the
+// simulator is built on: FFT/IFFT, window functions, FIR filter design and
+// filtering, pulse shaping, correlation, resampling, spectrum estimation
+// and related vector operations. Everything is written from scratch on the
+// standard library — there is no external numeric dependency.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two ≥ n (and ≥ 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT returns the discrete Fourier transform of x. For power-of-two
+// lengths it runs the iterative radix-2 Cooley–Tukey algorithm; any other
+// length is handled by Bluestein's chirp-z transform. The input is not
+// modified.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT of x, normalized by 1/N so that
+// IFFT(FFT(x)) == x. The input is not modified.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// FFTInPlace computes the DFT of x in place. len(x) must be a power of
+// two; it panics otherwise (use FFT for arbitrary lengths).
+func FFTInPlace(x []complex128) {
+	if !IsPowerOfTwo(len(x)) {
+		panic(fmt.Sprintf("dsp: FFTInPlace requires power-of-two length, got %d", len(x)))
+	}
+	radix2(x, false)
+}
+
+// IFFTInPlace computes the normalized inverse DFT of x in place. len(x)
+// must be a power of two.
+func IFFTInPlace(x []complex128) {
+	if !IsPowerOfTwo(len(x)) {
+		panic(fmt.Sprintf("dsp: IFFTInPlace requires power-of-two length, got %d", len(x)))
+	}
+	radix2(x, true)
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if IsPowerOfTwo(n) {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is an iterative in-place decimation-in-time FFT.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size) * sign
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using
+// power-of-two FFTs internally.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w_k = exp(sign·jπk²/n). Reduce k² mod 2n to keep the angle
+	// argument small and the chirp numerically exact for large n.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := NextPowerOfTwo(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// FFTShift rotates a spectrum so the zero-frequency bin sits in the
+// middle, matching the conventional plotting order. Returns a new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// FFTFreqs returns the frequency in Hz of each FFT bin for an N-point
+// transform at the given sample rate, in natural (unshifted) bin order.
+func FFTFreqs(n int, sampleRate float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := i
+		if k >= (n+1)/2 {
+			k -= n
+		}
+		out[i] = float64(k) * sampleRate / float64(n)
+	}
+	return out
+}

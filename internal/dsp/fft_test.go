@@ -1,0 +1,181 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// dftDirect is a reference O(N²) DFT for validating the FFT.
+func dftDirect(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			acc += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k*t)/float64(n))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func complexNear(t *testing.T, got, want []complex128, tol float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: index %d: got %v, want %v", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func testSignal(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(0.37*float64(i))+0.2, math.Cos(1.1*float64(i)))
+	}
+	return x
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 3, 5, 7, 12, 100, 241} {
+		x := testSignal(n)
+		got := FFT(x)
+		want := dftDirect(x)
+		complexNear(t, got, want, 1e-8*float64(n), "FFT vs direct DFT")
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 256, 3, 30, 100} {
+		x := testSignal(n)
+		y := IFFT(FFT(x))
+		complexNear(t, y, x, 1e-9*float64(n+1), "IFFT∘FFT")
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 1 + int(seed)%96
+		x := make([]complex128, n)
+		s := float64(seed)
+		for i := range x {
+			x[i] = complex(math.Sin(s+float64(i)*1.7), math.Cos(s*0.3+float64(i)))
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Σ|x|² = (1/N)·Σ|X|².
+	for _, n := range []int{16, 64, 37} {
+		x := testSignal(n)
+		X := FFT(x)
+		te := Energy(x)
+		fe := Energy(X) / float64(n)
+		if math.Abs(te-fe) > 1e-8*te {
+			t.Errorf("Parseval violated for n=%d: %g vs %g", n, te, fe)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	n := 32
+	x := testSignal(n)
+	y := make([]complex128, n)
+	for i := range y {
+		y[i] = complex(float64(i)*0.01, -0.5)
+	}
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3i*y[i]
+	}
+	lhs := FFT(sum)
+	fx, fy := FFT(x), FFT(y)
+	rhs := make([]complex128, n)
+	for i := range rhs {
+		rhs[i] = 2*fx[i] + 3i*fy[i]
+	}
+	complexNear(t, lhs, rhs, 1e-9, "FFT linearity")
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	for i, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 3 concentrates all energy in bin 3.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*3*float64(i)/float64(n))
+	}
+	X := FFT(x)
+	if cmplx.Abs(X[3]-complex(float64(n), 0)) > 1e-9 {
+		t.Errorf("tone bin: %v", X[3])
+	}
+	for i, v := range X {
+		if i != 3 && cmplx.Abs(v) > 1e-9 {
+			t.Errorf("leakage at bin %d: %v", i, v)
+		}
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	complexNear(t, got, want, 0, "FFTShift even")
+	x = []complex128{0, 1, 2, 3, 4}
+	got = FFTShift(x)
+	want = []complex128{3, 4, 0, 1, 2}
+	complexNear(t, got, want, 0, "FFTShift odd")
+}
+
+func TestFFTFreqs(t *testing.T) {
+	fs := FFTFreqs(4, 1000)
+	want := []float64{0, 250, -500, -250}
+	for i := range fs {
+		if fs[i] != want[i] {
+			t.Errorf("freq bin %d = %g, want %g", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestInPlacePanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FFTInPlace should panic on non-power-of-two length")
+		}
+	}()
+	FFTInPlace(make([]complex128, 12))
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

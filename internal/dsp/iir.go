@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR section in direct form II transposed,
+// operating on complex samples with real coefficients. Transfer function
+//
+//	H(z) = (b0 + b1·z⁻¹ + b2·z⁻²) / (1 + a1·z⁻¹ + a2·z⁻²).
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+
+	z1, z2 complex128
+}
+
+// ProcessSample pushes one sample through the section.
+func (q *Biquad) ProcessSample(x complex128) complex128 {
+	y := complex(q.B0, 0)*x + q.z1
+	q.z1 = complex(q.B1, 0)*x - complex(q.A1, 0)*y + q.z2
+	q.z2 = complex(q.B2, 0)*x - complex(q.A2, 0)*y
+	return y
+}
+
+// Process filters a block in place and returns it.
+func (q *Biquad) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = q.ProcessSample(v)
+	}
+	return x
+}
+
+// Reset clears the section's state.
+func (q *Biquad) Reset() { q.z1, q.z2 = 0, 0 }
+
+// Response evaluates the section's frequency response at normalized
+// frequency f (cycles/sample).
+func (q *Biquad) Response(f float64) complex128 {
+	w := 2 * math.Pi * f
+	z1 := complex(math.Cos(-w), math.Sin(-w))
+	z2 := z1 * z1
+	num := complex(q.B0, 0) + complex(q.B1, 0)*z1 + complex(q.B2, 0)*z2
+	den := complex(1, 0) + complex(q.A1, 0)*z1 + complex(q.A2, 0)*z2
+	return num / den
+}
+
+// NewLowpassBiquad designs a Butterworth-style lowpass biquad with −3 dB
+// cutoff at normalized frequency fc (0 < fc < 0.5), RBJ cookbook form
+// with Q = 1/√2.
+func NewLowpassBiquad(fc float64) (*Biquad, error) {
+	if fc <= 0 || fc >= 0.5 {
+		return nil, fmt.Errorf("dsp: biquad cutoff %v out of (0, 0.5)", fc)
+	}
+	w0 := 2 * math.Pi * fc
+	alpha := math.Sin(w0) / math.Sqrt2
+	cw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 - cw) / 2 / a0,
+		B1: (1 - cw) / a0,
+		B2: (1 - cw) / 2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewHighpassBiquad designs the complementary highpass section.
+func NewHighpassBiquad(fc float64) (*Biquad, error) {
+	if fc <= 0 || fc >= 0.5 {
+		return nil, fmt.Errorf("dsp: biquad cutoff %v out of (0, 0.5)", fc)
+	}
+	w0 := 2 * math.Pi * fc
+	alpha := math.Sin(w0) / math.Sqrt2
+	cw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 + cw) / 2 / a0,
+		B1: -(1 + cw) / a0,
+		B2: (1 + cw) / 2 / a0,
+		A1: -2 * cw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// DCBlocker is the classic one-pole DC-notch y[n] = x[n] − x[n−1] +
+// r·y[n−1], used by backscatter readers to strip the static TX-leakage
+// term. r close to 1 gives a narrow notch (long settling); 0.995 settles
+// in a few hundred samples.
+type DCBlocker struct {
+	// R is the pole radius in (0, 1); 0 selects the 0.995 default.
+	R float64
+
+	xPrev, yPrev complex128
+}
+
+// ProcessSample pushes one sample through the notch.
+func (d *DCBlocker) ProcessSample(x complex128) complex128 {
+	r := d.R
+	if r == 0 {
+		r = 0.995
+	}
+	y := x - d.xPrev + complex(r, 0)*d.yPrev
+	d.xPrev = x
+	d.yPrev = y
+	return y
+}
+
+// Process filters a block in place and returns it.
+func (d *DCBlocker) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = d.ProcessSample(v)
+	}
+	return x
+}
+
+// Reset clears the notch's state.
+func (d *DCBlocker) Reset() { d.xPrev, d.yPrev = 0, 0 }

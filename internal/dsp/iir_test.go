@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestLowpassBiquadResponse(t *testing.T) {
+	q, err := NewLowpassBiquad(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain 1, −3 dB at cutoff, strong attenuation near Nyquist.
+	if g := cmplx.Abs(q.Response(0)); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain %g", g)
+	}
+	if g := cmplx.Abs(q.Response(0.1)); math.Abs(20*math.Log10(g)-(-3.01)) > 0.1 {
+		t.Errorf("cutoff gain %g dB", 20*math.Log10(g))
+	}
+	if g := cmplx.Abs(q.Response(0.45)); g > 0.05 {
+		t.Errorf("stopband gain %g", g)
+	}
+	if _, err := NewLowpassBiquad(0.6); err == nil {
+		t.Error("cutoff above Nyquist should fail")
+	}
+	if _, err := NewLowpassBiquad(0); err == nil {
+		t.Error("zero cutoff should fail")
+	}
+}
+
+func TestHighpassBiquadResponse(t *testing.T) {
+	q, err := NewHighpassBiquad(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(q.Response(0)); g > 1e-9 {
+		t.Errorf("DC gain %g, want 0", g)
+	}
+	if g := cmplx.Abs(q.Response(0.4)); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain %g", g)
+	}
+	if _, err := NewHighpassBiquad(0.7); err == nil {
+		t.Error("bad cutoff should fail")
+	}
+}
+
+func TestBiquadTimeDomainMatchesResponse(t *testing.T) {
+	// Steady-state output of a tone must match the analytic response.
+	q, _ := NewLowpassBiquad(0.12)
+	f := 0.07
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*f*float64(i))
+	}
+	y := q.Process(x)
+	// Compare steady-state magnitude (skip the transient).
+	var p float64
+	for _, v := range y[n/2:] {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	got := math.Sqrt(p / float64(n/2))
+	q2, _ := NewLowpassBiquad(0.12)
+	want := cmplx.Abs(q2.Response(f))
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("time-domain gain %g vs response %g", got, want)
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	q, _ := NewLowpassBiquad(0.2)
+	a := q.ProcessSample(1)
+	q.Reset()
+	b := q.ProcessSample(1)
+	if a != b {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestDCBlockerRemovesDC(t *testing.T) {
+	d := &DCBlocker{}
+	n := 8192
+	x := make([]complex128, n)
+	offset := complex(0.7, -0.3)
+	for i := range x {
+		x[i] = offset + cmplx.Rect(0.1, 2*math.Pi*0.05*float64(i))
+	}
+	y := d.Process(x)
+	// After settling, the mean must be ~0 while the tone survives.
+	var mean complex128
+	tail := y[n/2:]
+	for _, v := range tail {
+		mean += v
+	}
+	mean /= complex(float64(len(tail)), 0)
+	if cmplx.Abs(mean) > 0.01 {
+		t.Errorf("residual DC %g", cmplx.Abs(mean))
+	}
+	var p float64
+	for _, v := range tail {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	tonePower := p / float64(len(tail))
+	if tonePower < 0.8*0.005 { // tone power 0.1²/2 = 0.005
+		t.Errorf("tone attenuated too much: %g", tonePower)
+	}
+}
+
+func TestDCBlockerReset(t *testing.T) {
+	d := &DCBlocker{R: 0.9}
+	a := d.ProcessSample(2)
+	d.Reset()
+	b := d.ProcessSample(2)
+	if a != b {
+		t.Error("reset did not clear state")
+	}
+}

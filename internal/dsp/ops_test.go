@@ -1,0 +1,179 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyPower(t *testing.T) {
+	x := []complex128{3 + 4i, 0, 1}
+	if e := Energy(x); e != 26 {
+		t.Errorf("energy %g", e)
+	}
+	if p := Power(x); math.Abs(p-26.0/3) > 1e-12 {
+		t.Errorf("power %g", p)
+	}
+	if Power(nil) != 0 {
+		t.Error("empty power should be 0")
+	}
+}
+
+func TestScaleAndNormalize(t *testing.T) {
+	x := []complex128{1, 2i, -3}
+	Scale(x, 2)
+	if x[2] != -6 {
+		t.Errorf("scale: %v", x)
+	}
+	Normalize(x)
+	if p := Power(x); math.Abs(p-1) > 1e-12 {
+		t.Errorf("normalized power %g", p)
+	}
+	z := []complex128{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 {
+		t.Error("normalizing zero signal changed it")
+	}
+}
+
+func TestMixShiftsFrequency(t *testing.T) {
+	// Mixing a DC signal by f places a tone at f.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	Mix(x, 5.0/float64(n), 0)
+	X := FFT(x)
+	if cmplx.Abs(X[5]) < float64(n)-1e-6 {
+		t.Errorf("tone not at bin 5: |X[5]|=%v", cmplx.Abs(X[5]))
+	}
+}
+
+func TestDelay(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y := Delay(x, 2)
+	want := []complex128{0, 0, 1, 2}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("delay: %v", y)
+		}
+	}
+	if z := Delay(x, 10); z[3] != 0 {
+		t.Error("over-delay should zero everything")
+	}
+}
+
+func TestConvMatchesDirect(t *testing.T) {
+	// FFT path (long kernel) must agree with the direct path.
+	x := testSignal(300)
+	h := testSignal(100)
+	got := Conv(x, h)
+	// Direct reference.
+	want := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			want[i+j] += xv * hv
+		}
+	}
+	complexNear(t, got, want, 1e-7, "conv FFT vs direct")
+}
+
+func TestConvIdentity(t *testing.T) {
+	x := testSignal(20)
+	got := Conv(x, []complex128{1})
+	complexNear(t, got, x, 1e-12, "conv with delta")
+}
+
+func TestConvCommutative(t *testing.T) {
+	f := func(seedA, seedB uint8) bool {
+		a := testSignal(3 + int(seedA)%20)
+		b := testSignal(3 + int(seedB)%20)
+		ab := Conv(a, b)
+		ba := Conv(b, a)
+		for i := range ab {
+			if cmplx.Abs(ab[i]-ba[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXCorrFindsDelay(t *testing.T) {
+	ref := testSignal(32)
+	x := make([]complex128, 100)
+	copy(x[17:], ref)
+	r := XCorr(x, ref)
+	if peak := PeakIndex(r); peak != 17 {
+		t.Errorf("correlation peak at %d, want 17", peak)
+	}
+}
+
+func TestXCorrZeroLagIsEnergy(t *testing.T) {
+	x := testSignal(40)
+	r := XCorr(x, x)
+	if math.Abs(real(r[0])-Energy(x)) > 1e-9 || math.Abs(imag(r[0])) > 1e-9 {
+		t.Errorf("zero-lag autocorrelation %v, want energy %g", r[0], Energy(x))
+	}
+}
+
+func TestPeakIndexEmpty(t *testing.T) {
+	if PeakIndex(nil) != -1 {
+		t.Error("empty peak index should be -1")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []complex128{2, 4, 6, 8}
+	y := MovingAverage(x, 2)
+	want := []complex128{2, 3, 5, 7}
+	complexNear(t, y, want, 1e-12, "moving average")
+	// Window 1 is identity.
+	complexNear(t, MovingAverage(x, 1), x, 0, "window-1 moving average")
+}
+
+func TestMovingAverageConstantSignal(t *testing.T) {
+	f := func(w uint8) bool {
+		win := 1 + int(w)%16
+		x := make([]complex128, 40)
+		for i := range x {
+			x[i] = 5 - 2i
+		}
+		y := MovingAverage(x, win)
+		for _, v := range y {
+			if cmplx.Abs(v-(5-2i)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAndMagnitudes(t *testing.T) {
+	x := []complex128{1, 2}
+	Add(x, []complex128{10, 20, 30})
+	if x[0] != 11 || x[1] != 22 {
+		t.Errorf("add: %v", x)
+	}
+	m := Magnitudes([]complex128{3 + 4i, -1})
+	if m[0] != 5 || m[1] != 1 {
+		t.Errorf("magnitudes: %v", m)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs([]complex128{1, -3i, 2 + 2i}) != 3 {
+		t.Error("MaxAbs wrong")
+	}
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs(nil) should be 0")
+	}
+}

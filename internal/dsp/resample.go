@@ -1,0 +1,77 @@
+package dsp
+
+import "fmt"
+
+// Decimate keeps every factor-th sample starting at offset. The caller is
+// responsible for anti-alias filtering first (see DecimateFiltered).
+func Decimate(x []complex128, factor, offset int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor must be ≥ 1, got %d", factor)
+	}
+	if offset < 0 || (offset >= factor && len(x) > 0) {
+		return nil, fmt.Errorf("dsp: decimation offset %d out of [0,%d)", offset, factor)
+	}
+	out := make([]complex128, 0, (len(x)+factor-1)/factor)
+	for i := offset; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out, nil
+}
+
+// DecimateFiltered lowpass-filters x to the post-decimation Nyquist band
+// and then decimates by factor. The lowpass is a 12·factor+1 tap
+// Hamming-windowed sinc with cutoff 0.45/factor.
+func DecimateFiltered(x []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor must be ≥ 1, got %d", factor)
+	}
+	if factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	taps, err := DesignLowpass(0.45/float64(factor), 12*factor+1, Hamming)
+	if err != nil {
+		return nil, err
+	}
+	f := NewFIR(taps)
+	y := f.Process(x)
+	// Compensate the filter's group delay so output sample k corresponds
+	// to input sample k·factor.
+	d := int(f.GroupDelay())
+	if d < len(y) {
+		y = y[d:]
+	}
+	return Decimate(y, factor, 0)
+}
+
+// Interpolate inserts factor−1 zeros after each sample and lowpass-filters
+// to reconstruct the intermediate values (gain-compensated by factor).
+func Interpolate(x []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: interpolation factor must be ≥ 1, got %d", factor)
+	}
+	if factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	up := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		up[i*factor] = v
+	}
+	taps, err := DesignLowpass(0.45/float64(factor), 12*factor+1, Hamming)
+	if err != nil {
+		return nil, err
+	}
+	for i := range taps {
+		taps[i] *= float64(factor)
+	}
+	f := NewFIR(taps)
+	y := f.Process(up)
+	d := int(f.GroupDelay())
+	if d < len(y) {
+		y = y[d:]
+	}
+	return y, nil
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window function.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+	Kaiser // requires a beta parameter; see KaiserWindow
+)
+
+// String returns the window's name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	case Kaiser:
+		return "kaiser"
+	default:
+		return "unknown"
+	}
+}
+
+// MakeWindow returns the n-point window of the given type. Kaiser uses a
+// default beta of 8.6 (≈ Blackman-like sidelobes); use KaiserWindow for an
+// explicit beta.
+func MakeWindow(w Window, n int) []float64 {
+	switch w {
+	case Hann:
+		return cosineWindow(n, 0.5, 0.5, 0)
+	case Hamming:
+		return cosineWindow(n, 0.54, 0.46, 0)
+	case Blackman:
+		return cosineWindow(n, 0.42, 0.5, 0.08)
+	case Kaiser:
+		return KaiserWindow(n, 8.6)
+	default:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+}
+
+// cosineWindow evaluates a0 − a1·cos(2πi/(n−1)) + a2·cos(4πi/(n−1)).
+func cosineWindow(n int, a0, a1, a2 float64) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		out[i] = a0 - a1*math.Cos(x) + a2*math.Cos(2*x)
+	}
+	return out
+}
+
+// KaiserWindow returns an n-point Kaiser window with shape parameter beta.
+func KaiserWindow(n int, beta float64) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := besselI0(beta)
+	m := float64(n - 1)
+	for i := range out {
+		t := 2*float64(i)/m - 1
+		out[i] = besselI0(beta*math.Sqrt(1-t*t)) / den
+	}
+	return out
+}
+
+// besselI0 is the zeroth-order modified Bessel function of the first kind,
+// evaluated by its power series (converges quickly for the beta range used
+// in window design).
+func besselI0(x float64) float64 {
+	sum := 1.0
+	term := 1.0
+	half := x / 2
+	for k := 1; k < 64; k++ {
+		term *= half * half / (float64(k) * float64(k))
+		sum += term
+		if term < 1e-18*sum {
+			break
+		}
+	}
+	return sum
+}
+
+// ApplyWindow multiplies x by the window in place and returns x. The
+// window and signal must be the same length; the shorter prefix is used
+// otherwise.
+func ApplyWindow(x []complex128, w []float64) []complex128 {
+	n := min(len(x), len(w))
+	for i := 0; i < n; i++ {
+		x[i] *= complex(w[i], 0)
+	}
+	return x
+}

@@ -1,0 +1,195 @@
+// Package energy models the "batteryless" premise of the paper's
+// abstract: the tag's operating energy "is low enough that it can be
+// harvested from the environment without having a battery". It provides
+// harvester models (RF rectification of the reader's own carrier, plus
+// ambient light and motion sources), a storage-capacitor model, and a
+// duty-cycle planner that converts a harvest budget into a sustainable
+// backscatter throughput.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// Harvester is any ambient energy source.
+type Harvester interface {
+	// Name identifies the source.
+	Name() string
+	// PowerW returns the continuous harvest power in watts.
+	PowerW() float64
+}
+
+// RFHarvester rectifies the reader's incident carrier — the classic
+// RFID-style supply, and the only one that needs no extra transducer.
+type RFHarvester struct {
+	// IncidentDBm is the RF power captured by the tag's aperture.
+	IncidentDBm float64
+	// Efficiency is the rectifier's RF→DC conversion efficiency at this
+	// input level (modern 24 GHz rectennas: 0.05–0.35 depending on
+	// drive).
+	Efficiency float64
+	// SensitivityDBm is the rectifier's turn-on threshold; below it the
+	// harvest is zero (typical CMOS rectifiers: −20 dBm).
+	SensitivityDBm float64
+}
+
+// Name implements Harvester.
+func (RFHarvester) Name() string { return "RF (reader carrier)" }
+
+// PowerW implements Harvester.
+func (h RFHarvester) PowerW() float64 {
+	if h.IncidentDBm < h.SensitivityDBm {
+		return 0
+	}
+	return units.DBmToWatts(h.IncidentDBm) * h.Efficiency
+}
+
+// IncidentAtTagDBm returns the one-way power the tag's aperture captures
+// from a reader with EIRP eirpDBm at range r: Friis with the tag's
+// aperture gain.
+func IncidentAtTagDBm(eirpDBm, tagGainDBi, rangeM, lambda float64) float64 {
+	return eirpDBm + tagGainDBi - units.FSPLDB(rangeM, lambda)
+}
+
+// LightHarvester is a small photovoltaic cell under indoor illuminance.
+type LightHarvester struct {
+	// AreaCM2 is the cell area in cm².
+	AreaCM2 float64
+	// IndoorLux is the ambient illuminance (office: 300–500 lux).
+	IndoorLux float64
+	// EfficiencyUWPerCM2PerKLux is the cell's indoor figure of merit
+	// (amorphous Si: ~10 µW/cm²/klux).
+	EfficiencyUWPerCM2PerKLux float64
+}
+
+// Name implements Harvester.
+func (LightHarvester) Name() string { return "photovoltaic" }
+
+// PowerW implements Harvester.
+func (h LightHarvester) PowerW() float64 {
+	return h.AreaCM2 * (h.IndoorLux / 1000) * h.EfficiencyUWPerCM2PerKLux * 1e-6
+}
+
+// MotionHarvester is a piezo/electromagnetic scavenger on a moving host.
+type MotionHarvester struct {
+	// AverageUW is the long-run average harvest in µW (wearables:
+	// 10–100 µW).
+	AverageUW float64
+}
+
+// Name implements Harvester.
+func (MotionHarvester) Name() string { return "motion" }
+
+// PowerW implements Harvester.
+func (h MotionHarvester) PowerW() float64 { return h.AverageUW * 1e-6 }
+
+// Composite sums several sources.
+type Composite []Harvester
+
+// Name implements Harvester.
+func (Composite) Name() string { return "composite" }
+
+// PowerW implements Harvester.
+func (c Composite) PowerW() float64 {
+	var p float64
+	for _, h := range c {
+		p += h.PowerW()
+	}
+	return p
+}
+
+// Storage is the tag's energy buffer (a capacitor — batteryless by
+// construction).
+type Storage struct {
+	// CapacitanceF is the storage capacitance.
+	CapacitanceF float64
+	// VMax is the charged rail voltage.
+	VMax float64
+	// VMin is the brown-out voltage below which logic stops.
+	VMin float64
+}
+
+// UsableJ returns the energy between full and brown-out:
+// ½C(Vmax²−Vmin²).
+func (s Storage) UsableJ() float64 {
+	return 0.5 * s.CapacitanceF * (s.VMax*s.VMax - s.VMin*s.VMin)
+}
+
+// ChargeTimeS returns the time to charge from brown-out to full at the
+// given harvest power.
+func (s Storage) ChargeTimeS(harvestW float64) float64 {
+	if harvestW <= 0 {
+		return math.Inf(1)
+	}
+	return s.UsableJ() / harvestW
+}
+
+// Budget plans duty-cycled operation: harvest continuously, burst when
+// the capacitor allows.
+type Budget struct {
+	Harvest Harvester
+	Store   Storage
+	// ActiveW is the tag's power draw while modulating (from
+	// tag.EnergyModel.PowerAtBitrateW).
+	ActiveW float64
+}
+
+// DutyCycle returns the sustainable fraction of time the tag can be
+// active: harvest/active, capped at 1. Zero active draw returns 1.
+func (b Budget) DutyCycle() float64 {
+	if b.ActiveW <= 0 {
+		return 1
+	}
+	d := b.Harvest.PowerW() / b.ActiveW
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// SustainableThroughput returns the long-run average throughput when the
+// instantaneous link rate is linkBps: linkBps × duty cycle.
+func (b Budget) SustainableThroughput(linkBps float64) float64 {
+	return linkBps * b.DutyCycle()
+}
+
+// BurstSeconds returns how long one fully-charged burst lasts, and the
+// recharge time after it. A duty cycle of 1 returns (+Inf, 0).
+func (b Budget) BurstSeconds() (active, recharge float64) {
+	if b.DutyCycle() >= 1 {
+		return math.Inf(1), 0
+	}
+	net := b.ActiveW - b.Harvest.PowerW()
+	active = b.Store.UsableJ() / net
+	recharge = b.Store.ChargeTimeS(b.Harvest.PowerW())
+	return active, recharge
+}
+
+// Validate checks the budget's parameters.
+func (b Budget) Validate() error {
+	if b.Harvest == nil {
+		return fmt.Errorf("energy: nil harvester")
+	}
+	if b.Store.CapacitanceF < 0 || b.Store.VMax < b.Store.VMin || b.Store.VMin < 0 {
+		return fmt.Errorf("energy: invalid storage %+v", b.Store)
+	}
+	if b.ActiveW < 0 {
+		return fmt.Errorf("energy: negative active power")
+	}
+	return nil
+}
+
+// DefaultStorage returns a 100 µF / 3.0→1.8 V buffer — a typical
+// batteryless sensor supply.
+func DefaultStorage() Storage {
+	return Storage{CapacitanceF: 100e-6, VMax: 3.0, VMin: 1.8}
+}
+
+// DefaultRectifier returns a 24 GHz rectenna model: 20% efficiency,
+// −20 dBm sensitivity.
+func DefaultRectifier(incidentDBm float64) RFHarvester {
+	return RFHarvester{IncidentDBm: incidentDBm, Efficiency: 0.20, SensitivityDBm: -20}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+// AntiColPoint is one population sample of the protocol comparison.
+type AntiColPoint struct {
+	Tags int
+	// AlohaSlots / TreeQueries are mean time costs over the trials.
+	AlohaSlots, TreeQueries float64
+	// AlohaEff / TreeEff are mean reads-per-slot efficiencies.
+	AlohaEff, TreeEff float64
+	// AlohaPerTag / TreePerTag normalize cost by population.
+	AlohaPerTag, TreePerTag float64
+}
+
+// AntiColResult is experiment E10 (extension): the §9 MAC discussion —
+// "one possible solution is to use similar MAC protocol as RFIDs such as
+// Aloha" — compared against the deterministic binary query tree.
+type AntiColResult struct {
+	Points []AntiColPoint
+	Trials int
+}
+
+// AntiCollision sweeps tag populations, averaging both protocols over
+// trials runs each.
+func AntiCollision(populations []int, trials int, seed uint64) (AntiColResult, error) {
+	if len(populations) == 0 {
+		populations = []int{2, 4, 8, 16, 32, 64, 128}
+	}
+	if trials <= 0 {
+		trials = 30
+	}
+	src := rng.New(seed)
+	res := AntiColResult{Trials: trials}
+	for _, n := range populations {
+		var aSlots, aEff, qQueries, qEff float64
+		for tr := 0; tr < trials; tr++ {
+			a, err := mac.RunAloha(n, mac.DefaultAlohaConfig(), src.Split())
+			if err != nil {
+				return res, err
+			}
+			q, err := mac.RunQueryTree(n, 32, src.Split())
+			if err != nil {
+				return res, err
+			}
+			aSlots += float64(a.TotalSlots)
+			aEff += a.Efficiency()
+			qQueries += float64(q.Queries)
+			qEff += q.Efficiency()
+		}
+		ft := float64(trials)
+		res.Points = append(res.Points, AntiColPoint{
+			Tags:        n,
+			AlohaSlots:  aSlots / ft,
+			TreeQueries: qQueries / ft,
+			AlohaEff:    aEff / ft,
+			TreeEff:     qEff / ft,
+			AlohaPerTag: aSlots / ft / float64(n),
+			TreePerTag:  qQueries / ft / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r AntiColResult) Table() Table {
+	t := Table{
+		Title: "E10 (extension) — anti-collision protocols: framed Aloha vs binary query tree",
+		Columns: []string{"tags", "aloha slots", "tree queries", "aloha eff",
+			"tree eff", "aloha/tag", "tree/tag"},
+		Notes: []string{
+			fmt.Sprintf("means over %d trials; theory: Aloha ≈ e·n ≈ %.2f·n slots, query tree ≈ 2.89·n queries",
+				r.Trials, math.E),
+			"Aloha wins slightly on raw cost; the tree is deterministic and never strands a tag",
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Tags),
+			fmt.Sprintf("%.1f", p.AlohaSlots),
+			fmt.Sprintf("%.1f", p.TreeQueries),
+			fmt.Sprintf("%.3f", p.AlohaEff),
+			fmt.Sprintf("%.3f", p.TreeEff),
+			fmt.Sprintf("%.2f", p.AlohaPerTag),
+			fmt.Sprintf("%.2f", p.TreePerTag),
+		})
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAntiCollisionExperiment(t *testing.T) {
+	r, err := AntiCollision([]int{4, 16, 64}, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Classic theory: Aloha ≈ e·n slots, tree ≈ 2.9·n queries. Both
+		// per-tag costs must sit in [1.5, 4.5].
+		if p.AlohaPerTag < 1.5 || p.AlohaPerTag > 4.5 {
+			t.Errorf("n=%d: aloha %.2f per tag", p.Tags, p.AlohaPerTag)
+		}
+		if p.TreePerTag < 2.0 || p.TreePerTag > 4.0 {
+			t.Errorf("n=%d: tree %.2f per tag", p.Tags, p.TreePerTag)
+		}
+		if p.AlohaEff <= 0 || p.AlohaEff > 1 || p.TreeEff <= 0 || p.TreeEff > 1 {
+			t.Errorf("n=%d: efficiencies out of range", p.Tags)
+		}
+	}
+	// Large-n Aloha efficiency approaches 1/e.
+	last := r.Points[len(r.Points)-1]
+	if math.Abs(last.AlohaEff-1/math.E) > 0.06 {
+		t.Errorf("aloha efficiency %.3f, want ≈ %.3f", last.AlohaEff, 1/math.E)
+	}
+	if len(r.Table().Rows) != 3 {
+		t.Error("table rows")
+	}
+}
+
+func TestBlockageExperiment(t *testing.T) {
+	r, err := Blockage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SeveredWithoutReflector {
+		t.Error("blocked link without a wall must be severed")
+	}
+	if r.LOSRateBps < 1e9 {
+		t.Errorf("LOS reference rate %g", r.LOSRateBps)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	prev := math.Inf(1)
+	for _, p := range r.Points {
+		if p.Kind != "NLOS" {
+			t.Fatalf("wall loss %g: path %q, want NLOS", p.ReflLossDB, p.Kind)
+		}
+		// NLOS is longer than the 4 ft direct path and weaker than LOS.
+		if p.PathFt <= 4 {
+			t.Errorf("NLOS path %.1f ft should exceed 4", p.PathFt)
+		}
+		if p.ReceivedDBm >= r.LOSReceivedDBm {
+			t.Errorf("NLOS (%.1f dBm) cannot beat LOS (%.1f)", p.ReceivedDBm, r.LOSReceivedDBm)
+		}
+		// Lossier walls → weaker link; two-way: each dB of wall loss
+		// costs 2 dB.
+		if p.ReceivedDBm >= prev {
+			t.Error("received power should fall with wall loss")
+		}
+		prev = p.ReceivedDBm
+		// §4's claim: communication continues — for reasonable walls
+		// (metal/drywall, ≤ 3 dB one-way). Heavier walls may legitimately
+		// sever the two-way link.
+		if p.ReflLossDB <= 3 && p.RateBps <= 0 {
+			t.Errorf("wall loss %g dB: NLOS link dead", p.ReflLossDB)
+		}
+	}
+	// Two-way wall loss: 10 dB wall vs 0.5 dB wall differ by 19 dB.
+	d := r.Points[0].ReceivedDBm - r.Points[len(r.Points)-1].ReceivedDBm
+	if math.Abs(d-19) > 0.5 {
+		t.Errorf("two-way wall-loss delta %.1f dB, want 19", d)
+	}
+	if len(r.Table().Rows) != 5 {
+		t.Error("table rows")
+	}
+}

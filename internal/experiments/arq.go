@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// ARQPoint is one range sample of the link-layer goodput sweep.
+type ARQPoint struct {
+	RangeFt   float64
+	Bandwidth string
+	// BudgetSNRdB is the analytic SNR in that bandwidth.
+	BudgetSNRdB float64
+	// FirstTryFER is the measured per-burst frame error rate.
+	FirstTryFER float64
+	// Retransmissions over the run.
+	Retransmissions int
+	// Residual counts undeliverable frames.
+	Residual int
+	// GoodputBps is delivered payload over airtime.
+	GoodputBps float64
+}
+
+// ARQResult is experiment E16 (extension): what the paper's PHY rates
+// become at the *link layer* once framing overhead, frame errors and
+// stop-and-wait retransmissions are accounted — each point runs real
+// waveform bursts end to end.
+type ARQResult struct {
+	Points []ARQPoint
+	// Frames per point.
+	Frames int
+}
+
+// ARQGoodput sweeps range in the 2 GHz band (where the SNR cliff falls
+// inside the Fig. 7 span), nFrames waveform bursts per point.
+func ARQGoodput(nFrames int, seed uint64) (ARQResult, error) {
+	if nFrames <= 0 {
+		nFrames = 12
+	}
+	res := ARQResult{Frames: nFrames}
+	cfg := mac.DefaultARQConfig()
+	for _, ft := range []float64{3, 4, 4.5, 5, 5.5, 6, 7} {
+		l, err := core.NewDefaultLink(units.FeetToMeters(ft))
+		if err != nil {
+			return res, err
+		}
+		bw := l.Reader.Bandwidths[0] // 2 GHz
+		b, err := l.ComputeBudget()
+		if err != nil {
+			return res, err
+		}
+		r, err := mac.RunARQ(l, bw, nFrames, cfg, rng.New(seed))
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, ARQPoint{
+			RangeFt:         ft,
+			Bandwidth:       bw.Label,
+			BudgetSNRdB:     b.SNRdB[bw.Label],
+			FirstTryFER:     r.FirstTryFER,
+			Retransmissions: r.Retransmissions,
+			Residual:        r.ResidualErrors,
+			GoodputBps:      r.GoodputBps,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r ARQResult) Table() Table {
+	t := Table{
+		Title: "E16 (extension) — link-layer goodput with stop-and-wait ARQ (2 GHz band, waveform-level)",
+		Columns: []string{"range (ft)", "SNR (dB)", "first-try FER", "retx",
+			"residual", "goodput"},
+		Notes: []string{
+			fmt.Sprintf("%d × 64-byte frames per point, ≤3 retries; goodput = delivered payload / total airtime", r.Frames),
+			"the PHY's 1 Gb/s becomes ≈0.87 Gb/s of goodput inside the cliff (framing overhead), collapsing across it",
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.RangeFt),
+			fmt.Sprintf("%.1f", p.BudgetSNRdB),
+			fmt.Sprintf("%.2f", p.FirstTryFER),
+			fmt.Sprintf("%d", p.Retransmissions),
+			fmt.Sprintf("%d", p.Residual),
+			units.FormatRate(p.GoodputBps),
+		})
+	}
+	return t
+}

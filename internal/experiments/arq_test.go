@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestARQGoodput(t *testing.T) {
+	r, err := ARQGoodput(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 7 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	first := r.Points[0] // 3 ft: 15.6 dB, comfortably above threshold
+	if first.FirstTryFER != 0 || first.GoodputBps < 8e8 {
+		t.Errorf("3 ft point should be clean: %+v", first)
+	}
+	last := r.Points[len(r.Points)-1] // 7 ft: ~1 dB, hopeless
+	if last.FirstTryFER < 0.9 || last.GoodputBps > 1e8 {
+		t.Errorf("7 ft point should be collapsed: %+v", last)
+	}
+	// FER is non-decreasing with range; goodput non-increasing (within
+	// the small-sample noise of a dozen frames, enforce the endpoints and
+	// overall trend).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FirstTryFER+0.15 < r.Points[i-1].FirstTryFER {
+			t.Errorf("FER fell sharply with range at %.1f ft", r.Points[i].RangeFt)
+		}
+	}
+	// The headline observation: at the paper's 4 ft / BER-10⁻³ operating
+	// point, uncoded 64-byte frames already fail often — per-bit
+	// thresholds do not survive framing without margin or FEC.
+	var at4 ARQPoint
+	for _, p := range r.Points {
+		if p.RangeFt == 4 {
+			at4 = p
+		}
+	}
+	if at4.FirstTryFER < 0.2 {
+		t.Errorf("4 ft FER %.2f unexpectedly clean for 512-bit frames at BER≈2e-3", at4.FirstTryFER)
+	}
+	if len(r.Table().Rows) != 7 {
+		t.Error("table rows")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// BERPoint is one SNR sample of the validation sweep.
+type BERPoint struct {
+	SNRdB       float64
+	MonteCarlo  float64
+	Analytic    float64 // envelope-detection OOK (what the receiver runs)
+	AnalyticCoh float64 // coherent ideal OOK, for reference
+}
+
+// BERResult is experiment E6: Monte-Carlo validation of the OOK receiver
+// against the analytic curves, anchoring the Fig. 7 rate thresholds.
+type BERResult struct {
+	Points []BERPoint
+	// SNRForTarget is the measured SNR (dB) at which the envelope
+	// receiver crosses the paper's 10⁻³ BER target.
+	SNRForTarget float64
+	// PaperThresholdDB is the paper's table constant (7 dB).
+	PaperThresholdDB float64
+}
+
+// BERValidation sweeps SNR with nBits Monte-Carlo bits per point.
+func BERValidation(nBits int, seed uint64) (BERResult, error) {
+	if nBits <= 0 {
+		nBits = 200_000
+	}
+	src := rng.New(seed)
+	res := BERResult{PaperThresholdDB: units.ASKRequiredSNRdB}
+	for snr := 2.0; snr <= 14; snr += 1 {
+		mc, err := phy.MonteCarloBER(phy.OOK{}, snr, nBits, src)
+		if err != nil {
+			return res, err
+		}
+		lin := math.Pow(10, snr/10)
+		res.Points = append(res.Points, BERPoint{
+			SNRdB:       snr,
+			MonteCarlo:  mc,
+			Analytic:    phy.BEROOKEnvelope(lin),
+			AnalyticCoh: phy.BEROOKIdeal(lin),
+		})
+	}
+	// Bisect the analytic envelope curve for the 1e-3 crossing.
+	lo, hi := 0.0, 20.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if phy.BEROOKEnvelope(math.Pow(10, mid/10)) > units.TargetBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.SNRForTarget = (lo + hi) / 2
+	return res, nil
+}
+
+// Table renders the waterfall.
+func (r BERResult) Table() Table {
+	t := Table{
+		Title:   "E6 / §8 method — OOK BER: Monte-Carlo receiver vs analytic curves",
+		Columns: []string{"SNR (dB)", "Monte-Carlo", "analytic (envelope)", "analytic (coherent)"},
+		Notes: []string{
+			fmt.Sprintf("envelope receiver reaches BER 10⁻³ at %.1f dB; the paper's table constant is %.0f dB "+
+				"(a different SNR normalization — see EXPERIMENTS.md)", r.SNRForTarget, r.PaperThresholdDB),
+		},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", p.SNRdB),
+			fmt.Sprintf("%.2e", p.MonteCarlo),
+			fmt.Sprintf("%.2e", p.Analytic),
+			fmt.Sprintf("%.2e", p.AnalyticCoh),
+		})
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestCodedBER(t *testing.T) {
+	r, err := CodedBER(300_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 10 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	for i, p := range r.Points {
+		// Above the crossover region, the code strictly improves the data
+		// BER.
+		if p.SNRdB >= 6 && p.RawBER > 1e-5 && p.CodedBER >= p.RawBER {
+			t.Errorf("SNR %g: coded %g not below raw %g", p.SNRdB, p.CodedBER, p.RawBER)
+		}
+		// Corrections fall with SNR.
+		if i > 0 && p.CorrectionsPer10k > r.Points[i-1].CorrectionsPer10k+1 {
+			t.Errorf("corrections not decreasing at %g dB", p.SNRdB)
+		}
+	}
+	// The documented finding: Hamming(7,4)'s gross gain (≈2 dB at 1e-3)
+	// roughly cancels its 2.4 dB rate penalty on this steep envelope-OOK
+	// waterfall — net gain near zero, growing at deeper BER targets.
+	if r.CodingGainDB < -1.5 || r.CodingGainDB > 1.5 {
+		t.Errorf("net coding gain %.1f dB outside the near-zero band", r.CodingGainDB)
+	}
+	if len(r.Table().Rows) != 10 {
+		t.Error("table rows")
+	}
+}
+
+func TestCodedBERDefaults(t *testing.T) {
+	// Tiny bit budget exercises the block-size rounding.
+	r, err := CodedBER(196, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Error("no points")
+	}
+}

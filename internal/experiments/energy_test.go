@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestEnergyFeasibility(t *testing.T) {
+	r, err := EnergyFeasibility(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 11 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	first := r.Points[0]
+	last := r.Points[len(r.Points)-1]
+	// RF harvest decays with range and eventually hits the rectifier
+	// sensitivity.
+	if first.RFHarvestUW <= last.RFHarvestUW {
+		t.Error("RF harvest should fall with range")
+	}
+	if last.RFHarvestUW != 0 {
+		t.Errorf("12 ft RF harvest %g µW, want 0 (below sensitivity)", last.RFHarvestUW)
+	}
+	// Ambient harvest is range-independent.
+	if first.AmbientUW != last.AmbientUW {
+		t.Error("ambient harvest should not depend on range")
+	}
+	// Combined duty ≥ each individual duty; all duties in [0,1].
+	for _, p := range r.Points {
+		if p.DutyBoth < p.DutyRF-1e-12 || p.DutyBoth < p.DutyAmbient-1e-12 {
+			t.Errorf("combined duty %g below a component at %g ft", p.DutyBoth, p.RangeFt)
+		}
+		for _, d := range []float64{p.DutyRF, p.DutyAmbient, p.DutyBoth} {
+			if d < 0 || d > 1 {
+				t.Errorf("duty %g out of [0,1]", d)
+			}
+		}
+		if p.SustainedBps > p.LinkRateBps {
+			t.Error("sustained throughput cannot exceed the link rate")
+		}
+	}
+	// The near-range Gb/s point must be heavily duty-cycled (< 5%) —
+	// the 13.5 mW switch drive dwarfs µW harvests.
+	if first.LinkRateBps >= 1e9 && first.DutyBoth > 0.05 {
+		t.Errorf("Gb/s duty %g implausibly high", first.DutyBoth)
+	}
+	// The tag stays alive across the whole Fig. 7 span with the combined
+	// supply.
+	if r.BatterylessRangeFt < 10 {
+		t.Errorf("batteryless range %.0f ft, want ≥ 10", r.BatterylessRangeFt)
+	}
+	tab := r.Table()
+	if len(tab.Rows) != 11 || len(tab.Columns) != 9 {
+		t.Error("table shape")
+	}
+}
+
+func TestFmtDuty(t *testing.T) {
+	cases := map[float64]string{
+		1.5:      "100%",
+		1.0:      "100%",
+		0.5:      "50.00%",
+		0.000001: "<0.01%",
+	}
+	for in, want := range cases {
+		if got := fmtDuty(in); got != want {
+			t.Errorf("fmtDuty(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package experiments contains one driver per evaluation artifact of the
+// paper — every figure, every embedded quantitative claim, and the
+// extensions DESIGN.md commits to. Each driver returns structured rows
+// plus a rendered text table so the CLI, the benchmarks and EXPERIMENTS.md
+// all share a single implementation.
+//
+// Index (see DESIGN.md §4):
+//
+//	E1  Figure6           S11 of a tag element, switch off/on
+//	E2  Figure7           received power & data rate vs range
+//	E3  Retrodirectivity  Van Atta vs fixed-beam across incidence angles
+//	E4  Beamwidth         6-element tag beamwidth (§7: "20 degree")
+//	E5  Comparison        baseline-vs-mmTag throughput table
+//	E6  BERValidation     Monte-Carlo OOK BER vs analytic at Fig. 7 points
+//	E7  MultiTag          SDM + Aloha network throughput (§9 extension)
+//	E8  SelfInterference  rate vs reader isolation (§9 extension)
+//	A1  ArraySizeAblation range/rate vs element count (§8 remark)
+//	A2  ImpairmentAblation retro gain vs phase error & switch leakage
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title names the experiment ("E2 / Fig 7 — …").
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold pre-formatted cells.
+	Rows [][]string
+	// Notes carries calibration or interpretation remarks.
+	Notes []string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if w := widths[i] - len(c); w > 0 {
+				b.WriteString(strings.Repeat(" ", w))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting-free cells are
+// assumed; cells containing commas are wrapped in quotes).
+func (t Table) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	b.WriteString(strings.Join(cells, ","))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

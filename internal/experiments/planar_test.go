@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestPlanarTagExperiment(t *testing.T) {
+	r, err := PlanarTag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	// Boresight gains: 6-element line ≈ 12.8 dBi, 4×4 panel ≈ 17 dBi.
+	if r.LinearGainDBi < 12 || r.LinearGainDBi > 13.5 {
+		t.Errorf("linear gain %.1f", r.LinearGainDBi)
+	}
+	if r.PlanarGainDBi < 16 || r.PlanarGainDBi > 18 {
+		t.Errorf("planar gain %.1f", r.PlanarGainDBi)
+	}
+	if r.PlanarGainDBi-r.LinearGainDBi < 3 {
+		t.Error("planar panel should out-gain the line by ≈4.3 dB")
+	}
+	for _, p := range r.Points {
+		if p.AzDeg == 0 && p.ElDeg == 0 {
+			if p.VanAttaDB != 0 || p.FixedDB != 0 {
+				t.Error("boresight rows should be 0 dB by normalization")
+			}
+			continue
+		}
+		// Van Atta stays within element rolloff (≥ −6 dB here); the fixed
+		// panel is ≥ 15 dB worse off boresight.
+		if p.VanAttaDB < -6 {
+			t.Errorf("(%g,%g): Van Atta %g dB", p.AzDeg, p.ElDeg, p.VanAttaDB)
+		}
+		if p.FixedDB > p.VanAttaDB-15 {
+			t.Errorf("(%g,%g): fixed panel only %g dB below Van Atta", p.AzDeg, p.ElDeg, p.FixedDB-p.VanAttaDB)
+		}
+		if p.BeamErrDeg > 6 {
+			t.Errorf("(%g,%g): beam error %g°", p.AzDeg, p.ElDeg, p.BeamErrDeg)
+		}
+	}
+	if len(r.Table().Rows) != 6 {
+		t.Error("table rows")
+	}
+}

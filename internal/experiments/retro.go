@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/vanatta"
+)
+
+// RetroPoint compares the two tag architectures at one incidence angle.
+type RetroPoint struct {
+	IncidenceDeg float64
+	// VanAttaDB / FixedDB are monostatic returns normalized to the Van
+	// Atta boresight (dB).
+	VanAttaDB, FixedDB float64
+	// PeakErrorDeg is the Van Atta scattered beam's pointing error.
+	PeakErrorDeg float64
+}
+
+// RetroResult is experiment E3: the quantitative version of paper Fig. 3's
+// argument — a Van Atta tag reflects toward the arrival direction for any
+// incidence, a fixed-beam tag only at boresight.
+type RetroResult struct {
+	Points []RetroPoint
+	// WorstErrorDeg is the largest Van Atta pointing error across the
+	// sweep.
+	WorstErrorDeg float64
+	// FixedBeamCollapseDeg is the incidence angle (degrees) at which the
+	// fixed-beam tag has lost 10 dB versus boresight.
+	FixedBeamCollapseDeg float64
+}
+
+// Retrodirectivity sweeps incidence from −60° to +60°.
+func Retrodirectivity(n int) (RetroResult, error) {
+	if n < 2 {
+		n = 25
+	}
+	const f = 24e9
+	va, err := vanatta.New(6, f)
+	if err != nil {
+		return RetroResult{}, err
+	}
+	fb, err := vanatta.NewFixedBeam(6, f)
+	if err != nil {
+		return RetroResult{}, err
+	}
+	thetas := make([]float64, n)
+	for i := range thetas {
+		thetas[i] = (-60 + 120*float64(i)/float64(n-1)) * math.Pi / 180
+	}
+	vaDB, fbDB := vanatta.AngleSweep(va, fb, f, thetas)
+	res := RetroResult{}
+	for i, th := range thetas {
+		pe := va.RetroErrorDeg(th, f)
+		res.Points = append(res.Points, RetroPoint{
+			IncidenceDeg: th * 180 / math.Pi,
+			VanAttaDB:    vaDB[i],
+			FixedDB:      fbDB[i],
+			PeakErrorDeg: pe,
+		})
+		if pe > res.WorstErrorDeg {
+			res.WorstErrorDeg = pe
+		}
+	}
+	// Find the fixed-beam −10 dB collapse angle by marching outward.
+	for deg := 0.0; deg <= 60; deg += 0.5 {
+		th := deg * math.Pi / 180
+		_, fb10 := vanatta.AngleSweep(va, fb, f, []float64{th})
+		if fb10[0] <= -10 {
+			res.FixedBeamCollapseDeg = deg
+			break
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r RetroResult) Table() Table {
+	t := Table{
+		Title:   "E3 / Fig 3 & Eq 5 — monostatic return vs incidence: Van Atta (mmTag) vs fixed-beam tag",
+		Columns: []string{"incidence (deg)", "mmTag (dB)", "fixed-beam (dB)", "mmTag beam error (deg)"},
+		Notes: []string{
+			fmt.Sprintf("worst mmTag pointing error %.2f° across ±60° (Eq. 5: reflection tracks incidence)", r.WorstErrorDeg),
+			fmt.Sprintf("fixed-beam tag loses 10 dB by %.1f° off boresight (the Kimionis-style limitation, §3)", r.FixedBeamCollapseDeg),
+		},
+	}
+	for _, p := range r.Points {
+		fixed := fmt.Sprintf("%.1f", p.FixedDB)
+		if math.IsInf(p.FixedDB, -1) {
+			fixed = "-inf"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", p.IncidenceDeg),
+			fmt.Sprintf("%.1f", p.VanAttaDB),
+			fixed,
+			fmt.Sprintf("%.2f", p.PeakErrorDeg),
+		})
+	}
+	return t
+}
+
+// BeamwidthResult is experiment E4: the §7 implementation claims.
+type BeamwidthResult struct {
+	// Elements is the array size (6 in the prototype).
+	Elements int
+	// HPBWDeg is the simulated half-power beamwidth.
+	HPBWDeg float64
+	// PaperDeg is the paper's quoted value (20°).
+	PaperDeg float64
+	// ApertureWidthMM is the array's physical extent at λ/2 spacing.
+	ApertureWidthMM float64
+	// TagWidthMM / TagHeightMM are the paper's PCB dimensions (60×45 mm).
+	TagWidthMM, TagHeightMM float64
+}
+
+// Beamwidth evaluates the tag's beamwidth and geometry for n elements at
+// 24 GHz.
+func Beamwidth(n int) (BeamwidthResult, error) {
+	if n < 1 {
+		n = 6
+	}
+	ula, err := antenna.NewHalfWaveULA(n, antenna.NewPatch())
+	if err != nil {
+		return BeamwidthResult{}, err
+	}
+	w := ula.TransmitWeights(0)
+	hpbw := ula.HPBWRad(w, 0) * 180 / math.Pi
+	lambdaMM := 299792458.0 / 24e9 * 1000
+	return BeamwidthResult{
+		Elements:        n,
+		HPBWDeg:         hpbw,
+		PaperDeg:        20,
+		ApertureWidthMM: float64(n-1) * lambdaMM / 2,
+		TagWidthMM:      60,
+		TagHeightMM:     45,
+	}, nil
+}
+
+// Table renders the beamwidth check.
+func (r BeamwidthResult) Table() Table {
+	return Table{
+		Title:   "E4 / §7 — tag beamwidth and geometry",
+		Columns: []string{"quantity", "simulated", "paper"},
+		Rows: [][]string{
+			{"elements", fmt.Sprintf("%d", r.Elements), "6"},
+			{"half-power beamwidth", fmt.Sprintf("%.1f°", r.HPBWDeg), fmt.Sprintf("%.0f°", r.PaperDeg)},
+			{"aperture width", fmt.Sprintf("%.1f mm", r.ApertureWidthMM), fmt.Sprintf("fits %g×%g mm PCB", r.TagWidthMM, r.TagHeightMM)},
+		},
+		Notes: []string{
+			"uniform-ULA theory gives 0.886·λ/(N·d) ≈ 17°; the paper rounds its measured beam to \"20 degree\"",
+		},
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/mmtag/mmtag/internal/plot"
+)
+
+// Chart renders Fig. 6 as an SVG line chart matching the paper's axes
+// (frequency in GHz vs S11 in dB, switch off vs on).
+func (r Fig6Result) Chart() plot.Chart {
+	n := len(r.Points)
+	fx := make([]float64, n)
+	off := make([]float64, n)
+	on := make([]float64, n)
+	for i, p := range r.Points {
+		fx[i] = p.FreqHz / 1e9
+		off[i] = p.OffDB
+		on[i] = p.OnDB
+	}
+	return plot.Chart{
+		Title:  "Fig. 6 — S11 of a tag antenna element (simulated)",
+		XLabel: "Frequency (GHz)",
+		YLabel: "Amplitude (dB)",
+		Series: []plot.Series{
+			{Name: "Switch off", X: fx, Y: off},
+			{Name: "Switch on", X: fx, Y: on},
+		},
+	}
+}
+
+// Chart renders Fig. 7 as an SVG line chart matching the paper's axes:
+// tag signal power vs range, with the three noise floors as dashed
+// horizontal lines.
+func (r Fig7Result) Chart() plot.Chart {
+	n := len(r.Points)
+	fx := make([]float64, n)
+	pr := make([]float64, n)
+	for i, p := range r.Points {
+		fx[i] = p.RangeFt
+		pr[i] = p.ReceivedDBm
+	}
+	series := []plot.Series{{Name: "Tag signal", X: fx, Y: pr}}
+	for _, label := range []string{"2 GHz", "200 MHz", "20 MHz"} {
+		floor := r.Floors[label]
+		series = append(series, plot.Series{
+			Name:   "Noise floor - " + label,
+			X:      []float64{fx[0], fx[n-1]},
+			Y:      []float64{floor, floor},
+			Dashed: true,
+		})
+	}
+	return plot.Chart{
+		Title:  "Fig. 7 — tag signal power at the reader vs range (simulated)",
+		XLabel: "Range (ft)",
+		YLabel: "Power (dBm)",
+		Series: series,
+	}
+}
+
+// Chart renders the E3 retrodirectivity sweep.
+func (r RetroResult) Chart() plot.Chart {
+	n := len(r.Points)
+	x := make([]float64, n)
+	va := make([]float64, n)
+	fb := make([]float64, n)
+	for i, p := range r.Points {
+		x[i] = p.IncidenceDeg
+		va[i] = p.VanAttaDB
+		fb[i] = p.FixedDB
+		// Clamp the fixed-beam nulls so the chart stays readable.
+		if math.IsInf(fb[i], -1) || fb[i] < -40 {
+			fb[i] = -40
+		}
+	}
+	return plot.Chart{
+		Title:  "E3 — monostatic return vs incidence: Van Atta vs fixed-beam (simulated)",
+		XLabel: "Incidence (deg)",
+		YLabel: "Return (dB, rel. boresight)",
+		Series: []plot.Series{
+			{Name: "mmTag (Van Atta)", X: x, Y: va},
+			{Name: "Fixed-beam tag", X: x, Y: fb, Dashed: true},
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6Chart(t *testing.T) {
+	r, err := Figure6(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := r.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 6", "Switch off", "Switch on", "<polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("fig6 SVG missing %q", want)
+		}
+	}
+}
+
+func TestFig7Chart(t *testing.T) {
+	r, err := Figure7(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := r.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 7", "Tag signal", "Noise floor - 2 GHz",
+		"Noise floor - 20 MHz", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("fig7 SVG missing %q", want)
+		}
+	}
+	// One signal polyline + three floors.
+	if got := strings.Count(svg, "<polyline"); got != 4 {
+		t.Errorf("fig7 polylines %d, want 4", got)
+	}
+}
+
+func TestRetroChart(t *testing.T) {
+	r, err := Retrodirectivity(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := r.Chart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "Van Atta") || !strings.Contains(svg, "Fixed-beam") {
+		t.Error("retro SVG missing series")
+	}
+	// The fixed-beam nulls are clamped — no absurd coordinates.
+	if strings.Contains(svg, "Inf") || strings.Contains(svg, "NaN") {
+		t.Error("non-finite values leaked")
+	}
+}

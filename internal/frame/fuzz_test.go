@@ -1,0 +1,83 @@
+package frame
+
+import (
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+// TestParserNeverPanicsOnGarbage throws random byte soup at the parser:
+// it must reject or flag, never panic, and essentially never verify.
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	src := rng.New(0xF00D)
+	p := Parser{}
+	falseAccepts := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		n := src.Intn(64)
+		data := src.Bytes(make([]byte, n))
+		var d Decoded
+		if err := p.Decode(data, &d); err == nil && d.Trailer.OK {
+			falseAccepts++
+		}
+	}
+	// A random buffer must pass version+MCS+length checks AND a CRC-16;
+	// the expected rate is ≪ 1e-4. Allow a couple of collisions.
+	if falseAccepts > 3 {
+		t.Errorf("%d false accepts in %d garbage frames", falseAccepts, trials)
+	}
+}
+
+// TestParserTruncationSweep decodes every prefix of a valid burst: all
+// must fail cleanly except the full frame.
+func TestParserTruncationSweep(t *testing.T) {
+	raw, err := Encode(0x0102, MCSOOK, []byte("truncate me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Parser{Strict: true}
+	for cut := 0; cut < len(raw); cut++ {
+		var d Decoded
+		if err := p.Decode(raw[:cut], &d); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", cut)
+		}
+	}
+	var d Decoded
+	if err := p.Decode(raw, &d); err != nil {
+		t.Fatalf("full frame failed: %v", err)
+	}
+}
+
+// TestParserExtraTrailingBytes verifies the parser tolerates captures
+// longer than the frame (trailing noise bytes are normal after a burst).
+func TestParserExtraTrailingBytes(t *testing.T) {
+	raw, _ := Encode(9, MCSOOK, []byte{1, 2, 3})
+	padded := append(append([]byte{}, raw...), 0xAA, 0xBB, 0xCC)
+	var d Decoded
+	if err := (&Parser{Strict: true}).Decode(padded, &d); err != nil {
+		t.Fatalf("padded frame failed: %v", err)
+	}
+	if string(d.Payload.Data) != "\x01\x02\x03" {
+		t.Error("payload corrupted by padding")
+	}
+}
+
+// TestRandomPayloadStress round-trips many random payload sizes.
+func TestRandomPayloadStress(t *testing.T) {
+	src := rng.New(0xBEEF)
+	for i := 0; i < 500; i++ {
+		n := src.Intn(MaxPayload + 1)
+		payload := src.Bytes(make([]byte, n))
+		raw, err := Encode(uint16(i), MCSBPSK, payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var d Decoded
+		if err := (&Parser{Strict: true}).Decode(raw, &d); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if int(d.Header.Length) != n {
+			t.Fatalf("n=%d: length %d", n, d.Header.Length)
+		}
+	}
+}

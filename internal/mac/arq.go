@@ -1,0 +1,98 @@
+package mac
+
+import (
+	"fmt"
+
+	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+)
+
+// ARQConfig parameterizes stop-and-wait ARQ over the backscatter link:
+// the reader polls, the tag bursts, a CRC failure triggers a
+// retransmission (the reader's poll doubles as the ACK/NAK — downlink
+// budget is not the bottleneck in backscatter).
+type ARQConfig struct {
+	// FrameBytes is the payload per burst.
+	FrameBytes int
+	// MaxRetries bounds retransmissions per frame (0 = no retries).
+	MaxRetries int
+}
+
+// DefaultARQConfig returns 64-byte frames with up to 3 retries.
+func DefaultARQConfig() ARQConfig { return ARQConfig{FrameBytes: 64, MaxRetries: 3} }
+
+// ARQResult accounts one ARQ run.
+type ARQResult struct {
+	// FramesOffered / FramesDelivered count attempts at the service
+	// level.
+	FramesOffered, FramesDelivered int
+	// Transmissions counts every burst including retransmissions.
+	Transmissions int
+	// Retransmissions = Transmissions − FramesOffered (capped by
+	// delivery).
+	Retransmissions int
+	// ResidualErrors counts frames still corrupt after MaxRetries.
+	ResidualErrors int
+	// FirstTryFER is the per-burst frame error rate.
+	FirstTryFER float64
+	// GoodputFraction is delivered payload bits over total transmitted
+	// burst bits (preamble + header + payload + CRC, all transmissions).
+	GoodputFraction float64
+	// GoodputBps scales the link's symbol rate by GoodputFraction and
+	// the OOK bit/symbol.
+	GoodputBps float64
+}
+
+// RunARQ delivers nFrames over the waveform-level link at the given
+// receiver bandwidth. Every burst is a full synthesis + decode; the
+// result is deterministic for a fixed source.
+func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, src *rng.Source) (ARQResult, error) {
+	var res ARQResult
+	if nFrames <= 0 {
+		return res, fmt.Errorf("mac: need ≥ 1 frame")
+	}
+	if cfg.FrameBytes <= 0 {
+		return res, fmt.Errorf("mac: frame bytes must be positive")
+	}
+	if cfg.MaxRetries < 0 {
+		return res, fmt.Errorf("mac: negative retries")
+	}
+	burstSymbols := tag.BurstSymbolCount(cfg.FrameBytes)
+	payloadBits := 8 * cfg.FrameBytes
+	failures := 0
+	for f := 0; f < nFrames; f++ {
+		res.FramesOffered++
+		payload := src.Bytes(make([]byte, cfg.FrameBytes))
+		delivered := false
+		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+			res.Transmissions++
+			r, err := l.RunWaveform(payload, bw, src)
+			if err != nil {
+				return res, err
+			}
+			ok := r.Decoded && r.BitErrors == 0
+			if attempt == 0 && !ok {
+				failures++
+			}
+			if ok {
+				delivered = true
+				break
+			}
+		}
+		if delivered {
+			res.FramesDelivered++
+		} else {
+			res.ResidualErrors++
+		}
+	}
+	res.Retransmissions = res.Transmissions - res.FramesOffered
+	res.FirstTryFER = float64(failures) / float64(res.FramesOffered)
+	totalBits := res.Transmissions * burstSymbols // OOK: 1 bit/symbol airtime
+	if totalBits > 0 {
+		res.GoodputFraction = float64(res.FramesDelivered*payloadBits) / float64(totalBits)
+	}
+	res.GoodputBps = res.GoodputFraction * bw.BitRate()
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+func TestQueryTreeResolvesAll(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{1, 2, 3, 10, 50, 200} {
+		r, err := RunQueryTree(n, 32, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Resolved != n {
+			t.Errorf("n=%d: resolved %d", n, r.Resolved)
+		}
+		if r.Queries < n {
+			t.Errorf("n=%d: %d queries cannot resolve %d tags", n, r.Queries, n)
+		}
+		// Query-tree accounting: every query is idle, singleton or
+		// collision.
+		if r.Queries != r.Idle+r.Resolved+r.Collisions {
+			t.Errorf("n=%d: accounting broken", n)
+		}
+	}
+}
+
+func TestQueryTreeDeterministicCost(t *testing.T) {
+	// Classic result: the binary query tree needs ≈ 2.89·n queries for
+	// large n (between 2.4n and 3.2n in practice). Average over seeds.
+	var total float64
+	const runs = 50
+	const n = 100
+	for seed := uint64(0); seed < runs; seed++ {
+		r, err := RunQueryTree(n, 32, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(r.Queries)
+	}
+	mean := total / runs
+	if mean < 2.4*n || mean > 3.3*n {
+		t.Errorf("query-tree mean cost %.1f for %d tags, want ≈2.9n", mean, n)
+	}
+}
+
+func TestQueryTreeEdgeCases(t *testing.T) {
+	src := rng.New(2)
+	r, err := RunQueryTree(0, 16, src)
+	if err != nil || r.Queries != 0 {
+		t.Errorf("zero tags: %+v %v", r, err)
+	}
+	if _, err := RunQueryTree(-1, 16, src); err == nil {
+		t.Error("negative tags")
+	}
+	if _, err := RunQueryTree(5, 0, src); err == nil {
+		t.Error("zero idBits")
+	}
+	if _, err := RunQueryTree(5, 63, src); err == nil {
+		t.Error("oversized idBits")
+	}
+	if _, err := RunQueryTree(5, 2, src); err == nil {
+		t.Error("population exceeding ID space")
+	}
+	if _, err := RunQueryTree(5, 16, nil); err == nil {
+		t.Error("nil source")
+	}
+	// Single tag: root query resolves immediately.
+	r, _ = RunQueryTree(1, 16, src)
+	if r.Queries != 1 || r.Collisions != 0 {
+		t.Errorf("single tag: %+v", r)
+	}
+}
+
+func TestQueryTreeVsAloha(t *testing.T) {
+	// Both must resolve everyone; the query tree is deterministic and
+	// complete, Aloha is probabilistic. Their costs are the classic
+	// ≈2.9n vs ≈e·n — the tree pays ~6% more but never loses a tag to
+	// MaxRounds.
+	src := rng.New(3)
+	const n = 64
+	qt, err := RunQueryTree(n, 32, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := RunAloha(n, DefaultAlohaConfig(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Resolved != n || al.Resolved != n {
+		t.Fatal("both protocols must resolve all tags")
+	}
+	// Sanity: both in the same cost ballpark (2–4 slots/queries per tag).
+	for name, cost := range map[string]int{"querytree": qt.Queries, "aloha": al.TotalSlots} {
+		per := float64(cost) / n
+		if per < 1.5 || per > 4.5 {
+			t.Errorf("%s cost %.2f per tag out of ballpark", name, per)
+		}
+	}
+}
+
+func TestQueryTreeEfficiencyProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%100
+		r, err := RunQueryTree(n, 32, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		eff := r.Efficiency()
+		return r.Resolved == n && eff > 0 && eff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	if (QueryTreeResult{}).Efficiency() != 0 {
+		t.Error("zero-query efficiency")
+	}
+}

@@ -1,0 +1,178 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+// SDMConfig parameterizes the sector-scan schedule.
+type SDMConfig struct {
+	// DwellS is the air time granted per tag read (seconds).
+	DwellS float64
+	// BeamSwitchS is the cost of retargeting the beam.
+	BeamSwitchS float64
+	// Beams is the number of simultaneous beams the reader can form
+	// (1 = the paper's single-beam scan; >1 = the MIMO extension of §9).
+	Beams int
+	// Aloha configures intra-beam collision resolution.
+	Aloha AlohaConfig
+}
+
+// DefaultSDMConfig returns a 1 ms dwell, 10 µs switch, single-beam
+// configuration.
+func DefaultSDMConfig() SDMConfig {
+	return SDMConfig{DwellS: 1e-3, BeamSwitchS: 10e-6, Beams: 1, Aloha: DefaultAlohaConfig()}
+}
+
+// TagShare is one tag's outcome over a scan cycle.
+type TagShare struct {
+	TagID uint16
+	// LinkRateBps is the instantaneous PHY rate while being read.
+	LinkRateBps float64
+	// AirTimeS is the time the tag transmits per cycle.
+	AirTimeS float64
+	// GoodputBps is the cycle-averaged throughput including scan and
+	// collision overheads.
+	GoodputBps float64
+}
+
+// SDMResult is a full scan-cycle schedule.
+type SDMResult struct {
+	// CycleS is the total cycle duration.
+	CycleS float64
+	// Shares lists every served tag, sorted by descending goodput.
+	Shares []TagShare
+	// AggregateBps is the sum of goodputs.
+	AggregateBps float64
+	// OccupiedBeams is the number of beams that contained ≥ 1 tag.
+	OccupiedBeams int
+	// CollisionOverheadS is the extra air time spent on Aloha resolution
+	// in beams holding multiple tags.
+	CollisionOverheadS float64
+}
+
+// ScheduleSDM builds one scan cycle from the reader's beam readings: each
+// occupied beam is visited once; a lone tag in a beam is read directly;
+// multiple tags in one beam first run framed Aloha (each slot costing one
+// dwell-length burst) and then each gets its dwell. With cfg.Beams > 1,
+// occupied beams are striped across the simultaneous beams, dividing the
+// cycle time.
+func ScheduleSDM(readings []core.BeamReading, cfg SDMConfig, src *rng.Source) (SDMResult, error) {
+	if cfg.DwellS <= 0 {
+		return SDMResult{}, fmt.Errorf("mac: dwell must be positive")
+	}
+	if cfg.Beams < 1 {
+		return SDMResult{}, fmt.Errorf("mac: need ≥ 1 beam, got %d", cfg.Beams)
+	}
+	var res SDMResult
+	readings = AssignBest(readings)
+	// Per-beam service time and shares.
+	beamTime := make([]float64, 0)
+	for _, br := range readings {
+		if len(br.Tags) == 0 {
+			continue
+		}
+		res.OccupiedBeams++
+		t := cfg.BeamSwitchS
+		if len(br.Tags) > 1 {
+			// Intra-beam contention: Aloha slots cost one dwell each.
+			ar, err := RunAloha(len(br.Tags), cfg.Aloha, src)
+			if err != nil {
+				return SDMResult{}, err
+			}
+			overhead := float64(ar.TotalSlots-ar.SingletonSlots) * cfg.DwellS
+			t += overhead
+			res.CollisionOverheadS += overhead
+		}
+		for _, tr := range br.Tags {
+			t += cfg.DwellS
+			res.Shares = append(res.Shares, TagShare{
+				TagID:       tr.TagID,
+				LinkRateBps: tr.RateBps,
+				AirTimeS:    cfg.DwellS,
+			})
+		}
+		beamTime = append(beamTime, t)
+	}
+	// Stripe beams across the simultaneous-beam budget: cycle time is the
+	// maximum over stripes of the per-stripe sum (longest-processing-time
+	// greedy assignment).
+	sort.Sort(sort.Reverse(sort.Float64Slice(beamTime)))
+	stripes := make([]float64, cfg.Beams)
+	for _, bt := range beamTime {
+		// Assign to the least-loaded stripe.
+		minIdx := 0
+		for i := 1; i < len(stripes); i++ {
+			if stripes[i] < stripes[minIdx] {
+				minIdx = i
+			}
+		}
+		stripes[minIdx] += bt
+	}
+	for _, s := range stripes {
+		if s > res.CycleS {
+			res.CycleS = s
+		}
+	}
+	if res.CycleS == 0 {
+		return res, nil
+	}
+	for i := range res.Shares {
+		sh := &res.Shares[i]
+		sh.GoodputBps = sh.LinkRateBps * sh.AirTimeS / res.CycleS
+		res.AggregateBps += sh.GoodputBps
+	}
+	sort.Slice(res.Shares, func(i, j int) bool {
+		return res.Shares[i].GoodputBps > res.Shares[j].GoodputBps
+	})
+	return res, nil
+}
+
+// AssignBest deduplicates scan readings: a tag visible in several
+// adjacent beams (beam overlap) is kept only in the beam where it is
+// strongest, so the scheduler serves each tag exactly once.
+func AssignBest(readings []core.BeamReading) []core.BeamReading {
+	type best struct {
+		beam int
+		pr   float64
+	}
+	strongest := map[uint16]best{}
+	for bi, br := range readings {
+		for _, tr := range br.Tags {
+			if b, ok := strongest[tr.TagID]; !ok || tr.ReceivedDBm > b.pr {
+				strongest[tr.TagID] = best{beam: bi, pr: tr.ReceivedDBm}
+			}
+		}
+	}
+	out := make([]core.BeamReading, len(readings))
+	for bi, br := range readings {
+		out[bi] = core.BeamReading{BeamRad: br.BeamRad}
+		for _, tr := range br.Tags {
+			if strongest[tr.TagID].beam == bi {
+				out[bi].Tags = append(out[bi].Tags, tr)
+			}
+		}
+	}
+	return out
+}
+
+// JainFairness returns Jain's fairness index of the tag goodputs
+// (1 = perfectly fair, 1/n = one tag hogs everything).
+func JainFairness(shares []TagShare) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, s := range shares {
+		sum += s.GoodputBps
+		sumSq += s.GoodputBps * s.GoodputBps
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	n := float64(len(shares))
+	return sum * sum / (n * sumSq)
+}

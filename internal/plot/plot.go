@@ -1,0 +1,170 @@
+// Package plot renders simple line charts as SVG using only the standard
+// library, so the paper's figures can be regenerated as images
+// (`mmtag fig7 -svg > fig7.svg`) without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Dashed draws the series with a dash pattern (used for noise
+	// floors / reference lines).
+	Dashed bool
+}
+
+// Chart is a 2-D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width/Height in pixels; defaults 720×480.
+	Width, Height int
+}
+
+// palette holds line colors (colorblind-safe-ish defaults).
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the chart.
+func (c Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 480
+	}
+	const mLeft, mRight, mTop, mBottom = 70, 160, 40, 50
+	pw, ph := w-mLeft-mRight, h-mTop-mBottom
+	if pw <= 0 || ph <= 0 {
+		return "", fmt.Errorf("plot: chart too small")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q length mismatch", s.Name)
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q empty", s.Name)
+		}
+		for i := range s.X {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	if minY >= maxY {
+		maxY = minY + 1
+	}
+	// A little vertical headroom.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	sx := func(x float64) float64 { return float64(mLeft) + (x-minX)/(maxX-minX)*float64(pw) }
+	sy := func(y float64) float64 { return float64(mTop) + (1-(y-minY)/(maxY-minY))*float64(ph) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		mLeft, escape(c.Title))
+
+	// Axes + grid.
+	for _, t := range ticks(minX, maxX, 6) {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", x, mTop, x, mTop+ph)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, mTop+ph+16, fmtTick(t))
+	}
+	for _, t := range ticks(minY, maxY, 6) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mLeft, y, mLeft+pw, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			mLeft-6, y+4, fmtTick(t))
+	}
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n", mLeft, mTop, pw, ph)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		mLeft+pw/2, h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mTop+ph/2, mTop+ph/2, escape(c.YLabel))
+
+	// Series + legend.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			if math.IsInf(s.Y[j], 0) || math.IsNaN(s.Y[j]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+			strings.Join(pts, " "), color, dash)
+		ly := mTop + 14 + i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			mLeft+pw+10, ly-4, mLeft+pw+34, ly-4, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			mLeft+pw+38, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// ticks returns ~n round tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		step = m * mag
+		if step >= raw {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for t := start; t <= hi+1e-9*span; t += step {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func fmtTick(t float64) string {
+	if t == math.Trunc(t) && math.Abs(t) < 1e7 {
+		return fmt.Sprintf("%.0f", t)
+	}
+	return fmt.Sprintf("%.3g", t)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

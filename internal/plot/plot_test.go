@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:  "demo <chart> & stuff",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}, Dashed: true},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := demoChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "stroke-dasharray",
+		"demo &lt;chart&gt; &amp; stuff",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Two polylines, two legend entries.
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polyline count %d", strings.Count(svg, "<polyline"))
+	}
+	// Balanced tags (rough check).
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	if _, err := (Chart{}).SVG(); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	empty := Chart{Series: []Series{{Name: "x"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty series should fail")
+	}
+	tiny := demoChart()
+	tiny.Width, tiny.Height = 10, 10
+	if _, err := tiny.SVG(); err == nil {
+		t.Error("too-small chart should fail")
+	}
+}
+
+func TestSVGToleratesInfinities(t *testing.T) {
+	c := Chart{Series: []Series{{
+		Name: "with holes",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{1, math.Inf(-1), math.NaN(), 2},
+	}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("non-finite values leaked into the SVG")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 3 {
+		t.Fatalf("ticks: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 10.001 {
+		t.Errorf("ticks out of range: %v", ts)
+	}
+	// Negative spans too.
+	ts = ticks(-110, -40, 6)
+	if len(ts) < 3 || ts[0] < -110 {
+		t.Errorf("negative ticks: %v", ts)
+	}
+}

@@ -1,0 +1,186 @@
+package reader
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/frame"
+	"github.com/mmtag/mmtag/internal/phy"
+)
+
+// RxStats summarizes one burst reception.
+type RxStats struct {
+	// PreambleMetric is the sync correlation peak.
+	PreambleMetric float64
+	// Threshold is the adaptive OOK decision threshold used.
+	Threshold float64
+	// SNRdBEst is the decision-domain SNR estimate (NaN if inestimable).
+	SNRdBEst float64
+	// BitErrors counts header+payload bit flips when the caller knows the
+	// truth (filled by the link layer, not here).
+	BitErrors int
+}
+
+// DecideOOK makes hard OOK decisions with an adaptive two-cluster
+// threshold: it splits decision magnitudes at the midpoint of the
+// extremes, recomputes the cluster means, and thresholds at their
+// average. Self-interference and unknown channel gain shift both OOK
+// levels; the adaptive threshold absorbs that, unlike a fixed one.
+func DecideOOK(decisions []complex128) (bits []byte, threshold float64, err error) {
+	if len(decisions) == 0 {
+		return nil, 0, fmt.Errorf("reader: no decisions")
+	}
+	mags := dsp.Magnitudes(decisions)
+	lo, hi := mags[0], mags[0]
+	for _, m := range mags {
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	mid := (lo + hi) / 2
+	var muH, muL float64
+	var nH, nL int
+	for _, m := range mags {
+		if m >= mid {
+			muH += m
+			nH++
+		} else {
+			muL += m
+			nL++
+		}
+	}
+	if nH == 0 || nL == 0 {
+		// Degenerate (all one level); fall back to the midpoint.
+		threshold = mid
+	} else {
+		threshold = (muH/float64(nH) + muL/float64(nL)) / 2
+	}
+	bits = make([]byte, len(mags))
+	for i, m := range mags {
+		if m >= threshold {
+			bits[i] = 0 // reflecting = data '0' (paper §6)
+		} else {
+			bits[i] = 1
+		}
+	}
+	return bits, threshold, nil
+}
+
+// DecideASK4 makes hard 4-ASK decisions: it estimates the low and high
+// amplitude rails from the extreme deciles, normalizes each decision into
+// [0,1], and Gray-demaps with the nearest of the four uniform levels.
+func DecideASK4(decisions []complex128) (bits []byte, err error) {
+	if len(decisions) == 0 {
+		return nil, fmt.Errorf("reader: no decisions")
+	}
+	mags := dsp.Magnitudes(decisions)
+	sorted := append([]float64{}, mags...)
+	sort.Float64s(sorted)
+	decile := len(sorted) / 10
+	if decile < 1 {
+		decile = 1
+	}
+	var lo, hi float64
+	for i := 0; i < decile; i++ {
+		lo += sorted[i]
+		hi += sorted[len(sorted)-1-i]
+	}
+	lo /= float64(decile)
+	hi /= float64(decile)
+	span := hi - lo
+	if span <= 0 {
+		return nil, fmt.Errorf("reader: ASK rails degenerate")
+	}
+	norm := make([]complex128, len(mags))
+	for i, m := range mags {
+		norm[i] = complex((m-lo)/span, 0)
+	}
+	return (phy.ASK{M: 4}).Demodulate(nil, norm), nil
+}
+
+// DecodeBurst runs the full receive pipeline on captured baseband
+// samples: Barker sync, matched filtering, adaptive decisions, and
+// layered frame decoding. The header (always OOK) is decoded first to
+// learn the payload length and MCS, then the remainder of the burst with
+// the scheme the header names.
+func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
+	var stats RxStats
+	start, metric, err := w.DetectBurst(samples, 0)
+	if err != nil {
+		return nil, stats, fmt.Errorf("reader: sync failed: %w", err)
+	}
+	stats.PreambleMetric = metric
+
+	headerSyms := frame.HeaderLen * 8
+	dec, err := w.MatchedFilter(samples, start, headerSyms)
+	if err != nil {
+		return nil, stats, err
+	}
+	headerBits, thr, err := DecideOOK(dec)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Threshold = thr
+	headerBytes, err := frame.BytesFromBits(headerBits)
+	if err != nil {
+		return nil, stats, err
+	}
+	var hdr frame.Header
+	// Decode against a padded view: the header parser wants to record a
+	// payload slice even though we have not demodulated it yet.
+	padded := append(append([]byte{}, headerBytes...), 0)
+	if err := hdr.DecodeFromBytes(padded); err != nil {
+		return nil, stats, fmt.Errorf("reader: header: %w", err)
+	}
+
+	restBits := (int(hdr.Length) + frame.CRCLen) * 8
+	restSyms := restBits
+	if hdr.MCS == frame.MCSASK4 {
+		restSyms = restBits / 2
+	}
+	restStart := start + headerSyms*w.SPS
+	decRest, err := w.MatchedFilter(samples, restStart, restSyms)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var bits []byte
+	switch hdr.MCS {
+	case frame.MCSASK4:
+		// Header decided on its own threshold; payload by 4-level rails.
+		payloadBits, err := DecideASK4(decRest)
+		if err != nil {
+			return nil, stats, err
+		}
+		bits = append(append([]byte{}, headerBits...), payloadBits...)
+		if snr, err := phy.MeasureSNR(dec); err == nil {
+			stats.SNRdBEst = snr
+		} else {
+			stats.SNRdBEst = math.NaN()
+		}
+	default:
+		// Re-decide header and rest together so the threshold benefits
+		// from the whole burst.
+		all := append(append([]complex128{}, dec...), decRest...)
+		bits, thr, err = DecideOOK(all)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Threshold = thr
+		if snr, err := phy.MeasureSNR(all); err == nil {
+			stats.SNRdBEst = snr
+		} else {
+			stats.SNRdBEst = math.NaN()
+		}
+	}
+	raw, err := frame.BytesFromBits(bits)
+	if err != nil {
+		return nil, stats, err
+	}
+	var out frame.Decoded
+	if err := (&frame.Parser{}).Decode(raw, &out); err != nil {
+		return nil, stats, fmt.Errorf("reader: frame: %w", err)
+	}
+	return &out, stats, nil
+}

@@ -1,0 +1,142 @@
+package reader
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/frame"
+	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+// synthBurst renders a complete tag burst (preamble + frame) at the given
+// OOK leakage and samples/symbol.
+func synthBurst(t *testing.T, tagID uint16, payload []byte, leakage float64, sps int) []complex128 {
+	t.Helper()
+	raw, err := frame.Encode(tagID, frame.MCSOOK, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := phy.PreambleSymbols(leakage)
+	bits := frame.BitsFromBytes(nil, raw)
+	syms, err = (phy.OOK{Leakage: leakage}).Modulate(syms, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := phy.NewRectWaveform(sps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Synthesize(syms)
+}
+
+func TestDecideOOKAdaptiveThreshold(t *testing.T) {
+	// A constant complex offset (self-interference) plus scaling must not
+	// break the decisions.
+	src := rng.New(3)
+	bits := src.Bits(make([]byte, 400))
+	dec, _ := (phy.OOK{}).Modulate(nil, bits)
+	offset := complex(0.35, 0.2)
+	for i := range dec {
+		dec[i] = dec[i]*complex(0.01, 0) + offset
+	}
+	got, thr, err := DecideOOK(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= cmplx.Abs(offset) {
+		t.Errorf("threshold %g did not adapt above the offset %g", thr, cmplx.Abs(offset))
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d decision errors with offset/scaling", errs)
+	}
+}
+
+func TestDecideOOKDegenerate(t *testing.T) {
+	if _, _, err := DecideOOK(nil); err == nil {
+		t.Error("empty decisions should fail")
+	}
+	// All-identical magnitudes must not crash.
+	flat := []complex128{1, 1, 1, 1}
+	bits, _, err := DecideOOK(flat)
+	if err != nil || len(bits) != 4 {
+		t.Errorf("flat decisions: %v %v", bits, err)
+	}
+}
+
+func TestDecodeBurstCleanChannel(t *testing.T) {
+	payload := []byte("gigabit backscatter at 24 GHz")
+	samples := synthBurst(t, 0xABCD, payload, 0.05, 8)
+	// Add leading/trailing silence like a real capture window.
+	rx := make([]complex128, 200+len(samples)+100)
+	copy(rx[200:], samples)
+	w, _ := phy.NewRectWaveform(8)
+	dec, stats, err := DecodeBurst(rx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.TagID != 0xABCD {
+		t.Errorf("tag ID %04x", dec.Header.TagID)
+	}
+	if !bytes.Equal(dec.Payload.Data, payload) {
+		t.Errorf("payload mismatch: %q", dec.Payload.Data)
+	}
+	if !dec.Trailer.OK {
+		t.Error("CRC should pass on a clean channel")
+	}
+	if stats.PreambleMetric <= 0 {
+		t.Error("preamble metric")
+	}
+	if stats.Threshold <= 0 || stats.Threshold >= 1 {
+		t.Errorf("threshold %g out of (0,1)", stats.Threshold)
+	}
+}
+
+func TestDecodeBurstNoisy(t *testing.T) {
+	src := rng.New(77)
+	payload := src.Bytes(make([]byte, 16))
+	samples := synthBurst(t, 7, payload, 0.05, 8)
+	rx := make([]complex128, 128+len(samples)+64)
+	copy(rx[128:], samples)
+	// ≈17 dB decision SNR after the 8-sample matched filter gain.
+	src.AWGN(rx, 0.05)
+	w, _ := phy.NewRectWaveform(8)
+	dec, stats, err := DecodeBurst(rx, w)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !dec.Trailer.OK {
+		t.Error("CRC failed at comfortable SNR")
+	}
+	if !bytes.Equal(dec.Payload.Data, payload) {
+		t.Error("payload corrupted")
+	}
+	if math.IsNaN(stats.SNRdBEst) || stats.SNRdBEst < 8 {
+		t.Errorf("SNR estimate %g implausible", stats.SNRdBEst)
+	}
+}
+
+func TestDecodeBurstGarbage(t *testing.T) {
+	w, _ := phy.NewRectWaveform(8)
+	src := rng.New(5)
+	noise := make([]complex128, 4096)
+	src.AWGN(noise, 1)
+	// Pure noise: either sync fails, header parsing fails, or the CRC
+	// flags the frame — it must never return a verified frame.
+	dec, _, err := DecodeBurst(noise, w)
+	if err == nil && dec.Trailer.OK {
+		t.Error("garbage decoded as a valid frame")
+	}
+	// Far too short for even the preamble.
+	if _, _, err := DecodeBurst(make([]complex128, 10), w); err == nil {
+		t.Error("short capture should fail")
+	}
+}

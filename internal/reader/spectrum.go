@@ -1,0 +1,104 @@
+package reader
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmtag/mmtag/internal/dsp"
+)
+
+// SpectrumMeasurement is the reader's spectrum-analyzer view of a
+// capture — the instrument the paper's §7 setup literally used.
+type SpectrumMeasurement struct {
+	// FreqNorm are bin centers in cycles/sample, ascending (−0.5…0.5).
+	FreqNorm []float64
+	// PSDdB is the power spectral density per bin, dB relative to the
+	// total capture power.
+	PSDdB []float64
+	// PeakDB and PeakFreqNorm locate the strongest bin.
+	PeakDB       float64
+	PeakFreqNorm float64
+	// OccupiedBWNorm is the 90%-power bandwidth in cycles/sample.
+	OccupiedBWNorm float64
+}
+
+// MeasureSpectrum estimates the capture's spectrum by Welch averaging
+// with Hann windows of segLen samples (power of two not required).
+func MeasureSpectrum(samples []complex128, segLen int) (SpectrumMeasurement, error) {
+	var m SpectrumMeasurement
+	psd, err := dsp.Welch(samples, segLen, dsp.Hann)
+	if err != nil {
+		return m, fmt.Errorf("reader: spectrum: %w", err)
+	}
+	// Reorder to ascending frequency.
+	shift := make([]float64, len(psd))
+	half := (len(psd) + 1) / 2
+	copy(shift, psd[half:])
+	copy(shift[len(psd)-half:], psd[:half])
+	freqs := dsp.FFTFreqs(len(psd), 1)
+	ordered := make([]float64, len(freqs))
+	copy(ordered, freqs[half:])
+	copy(ordered[len(psd)-half:], freqs[:half])
+
+	var total float64
+	for _, v := range shift {
+		total += v
+	}
+	if total <= 0 {
+		return m, fmt.Errorf("reader: empty capture")
+	}
+	m.FreqNorm = ordered
+	m.PSDdB = make([]float64, len(shift))
+	m.PeakDB = math.Inf(-1)
+	for i, v := range shift {
+		db := math.Inf(-1)
+		if v > 0 {
+			db = 10 * math.Log10(v/total)
+		}
+		m.PSDdB[i] = db
+		if db > m.PeakDB {
+			m.PeakDB = db
+			m.PeakFreqNorm = ordered[i]
+		}
+	}
+	m.OccupiedBWNorm = occupiedBW(shift, 0.90) / float64(len(shift))
+	return m, nil
+}
+
+// occupiedBW returns the number of bins of the smallest centered-on-peak
+// contiguous window containing frac of the total power.
+func occupiedBW(psd []float64, frac float64) float64 {
+	var total float64
+	peak := 0
+	for i, v := range psd {
+		total += v
+		if v > psd[peak] {
+			peak = i
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	acc := psd[peak]
+	lo, hi := peak, peak
+	for acc < frac*total && (lo > 0 || hi < len(psd)-1) {
+		left, right := 0.0, 0.0
+		if lo > 0 {
+			left = psd[lo-1]
+		}
+		if hi < len(psd)-1 {
+			right = psd[hi+1]
+		}
+		if left >= right && lo > 0 {
+			lo--
+			acc += left
+		} else if hi < len(psd)-1 {
+			hi++
+			acc += right
+		} else {
+			lo--
+			acc += left
+		}
+	}
+	return float64(hi - lo + 1)
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/geom"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	add := func(at float64, pri, id int) {
+		if err := e.Schedule(at, pri, func(float64) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(2.0, 0, 3)
+	add(1.0, 1, 2)
+	add(1.0, 0, 1)
+	add(3.0, 0, 4)
+	n, err := e.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("ran %d events", n)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("final time %g", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		id := i
+		if err := e.Schedule(1, 0, func(float64) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(5, 0, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(3, 0, func(float64) {}); err == nil {
+		t.Error("scheduling in the past should fail")
+	}
+}
+
+func TestAfterAndCascade(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var ping func(now float64)
+	ping = func(now float64) {
+		hits++
+		if hits < 5 {
+			if err := e.After(1, 0, ping); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.After(1, 0, ping); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 5 {
+		t.Errorf("cascade hits %d", hits)
+	}
+	if e.Pending() != 0 {
+		t.Error("queue should drain")
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	_ = e.Schedule(5, 0, func(float64) { ran = true })
+	if _, err := e.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if e.Pending() != 1 {
+		t.Error("event should remain queued")
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event at horizon should run")
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var loop func(now float64)
+	loop = func(now float64) { _ = e.After(0.001, 0, loop) }
+	_ = e.After(0, 0, loop)
+	if _, err := e.Run(1e9); err == nil {
+		t.Error("runaway schedule should trip the guard")
+	}
+}
+
+func TestMobilityWaypoints(t *testing.T) {
+	m := Mobility{
+		Waypoints: []geom.Vec{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 5}},
+		SpeedMps:  2,
+	}
+	if got := m.TotalPathM(); got != 15 {
+		t.Errorf("path length %g", got)
+	}
+	if got := m.Duration(); got != 7.5 {
+		t.Errorf("duration %g", got)
+	}
+	// Halfway along the first leg at t=2.5.
+	p := m.PositionAt(2.5)
+	if math.Abs(p.X-5) > 1e-12 || p.Y != 0 {
+		t.Errorf("position at 2.5 s: %v", p)
+	}
+	// On the second leg at t=6.
+	p = m.PositionAt(6)
+	if math.Abs(p.X-10) > 1e-12 || math.Abs(p.Y-2) > 1e-12 {
+		t.Errorf("position at 6 s: %v", p)
+	}
+	// Clamped at the end.
+	p = m.PositionAt(100)
+	if p != (geom.Vec{X: 10, Y: 5}) {
+		t.Errorf("final position %v", p)
+	}
+	// Before start.
+	if m.PositionAt(-1) != (geom.Vec{}) {
+		t.Error("pre-start position")
+	}
+}
+
+func TestMobilityDegenerate(t *testing.T) {
+	if (Mobility{}).PositionAt(5) != (geom.Vec{}) {
+		t.Error("empty mobility")
+	}
+	m := Mobility{Waypoints: []geom.Vec{{X: 3}}, SpeedMps: 1}
+	if m.PositionAt(9) != (geom.Vec{X: 3}) {
+		t.Error("single waypoint should pin")
+	}
+	if m.Duration() != 0 {
+		t.Error("single waypoint duration")
+	}
+	z := Mobility{Waypoints: []geom.Vec{{}, {X: 1}}, SpeedMps: 0}
+	if z.PositionAt(10) != (geom.Vec{}) {
+		t.Error("zero speed should pin at start")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace("t", "snr")
+	if err := tr.Add(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Error("row count")
+	}
+	col, err := tr.Column("snr")
+	if err != nil || len(col) != 3 || col[1] != 20 {
+		t.Errorf("column: %v %v", col, err)
+	}
+	min, mean, max, err := tr.Summary("snr")
+	if err != nil || min != 10 || mean != 20 || max != 30 {
+		t.Errorf("summary: %g %g %g %v", min, mean, max, err)
+	}
+	if err := tr.Add(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, err := tr.Column("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	csv := tr.CSV()
+	if !strings.HasPrefix(csv, "t,snr\n0,10\n") {
+		t.Errorf("csv: %q", csv)
+	}
+}
+
+func TestTraceEmptySummary(t *testing.T) {
+	tr := NewTrace("x")
+	if _, _, _, err := tr.Summary("x"); err == nil {
+		t.Error("empty summary should fail")
+	}
+}

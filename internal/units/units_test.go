@@ -1,0 +1,179 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 200) // keep in a numerically sane range
+		return math.Abs(DB(FromDB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmpDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 200)
+		return math.Abs(AmpDB(FromAmpDB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 200)
+		return math.Abs(WattsToDBm(DBmToWatts(dbm))-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownPowers(t *testing.T) {
+	near(t, WattsToDBm(0.020), 13.01, 0.01, "20 mW (the paper's reader TX power)")
+	near(t, WattsToDBm(1), 30, 1e-12, "1 W")
+	near(t, DBmToWatts(0), 0.001, 1e-15, "0 dBm")
+}
+
+func TestFeetMeters(t *testing.T) {
+	near(t, FeetToMeters(10), 3.048, 1e-12, "10 ft")
+	f := func(ft float64) bool {
+		ft = math.Mod(ft, 1e6)
+		return math.Abs(MetersToFeet(FeetToMeters(ft))-ft) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWavelength24GHz(t *testing.T) {
+	lambda := Wavelength(24 * GHz)
+	near(t, lambda, 0.012491, 1e-5, "24 GHz wavelength")
+	// K0·(λ/2)·sin(θ) must reduce to π·sin(θ): the simplification behind
+	// paper Eq. 2.
+	k0 := Wavenumber(24 * GHz)
+	near(t, k0*lambda/2, math.Pi, 1e-9, "K0·d with d = λ/2")
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kT at 300 K ≈ −173.83 dBm/Hz.
+	near(t, ThermalNoiseDensityDBmHz(300), -173.83, 0.02, "kT at 300 K")
+	// Paper Fig. 7 noise floors (T = 300 K, NF = 5 dB).
+	near(t, NoiseFloorDBm(300, 20*MHz, 5), -95.8, 0.1, "20 MHz floor")
+	near(t, NoiseFloorDBm(300, 200*MHz, 5), -85.8, 0.1, "200 MHz floor")
+	near(t, NoiseFloorDBm(300, 2*GHz, 5), -75.8, 0.1, "2 GHz floor")
+}
+
+func TestFSPLMonotone(t *testing.T) {
+	lambda := Wavelength(24 * GHz)
+	prev := FSPLDB(0.1, lambda)
+	for r := 0.2; r < 100; r *= 2 {
+		cur := FSPLDB(r, lambda)
+		if cur <= prev {
+			t.Fatalf("FSPL not increasing at r=%g", r)
+		}
+		// Doubling range adds exactly 6.02 dB.
+		near(t, cur-prev, 6.0206, 1e-3, "FSPL slope per octave")
+		prev = cur
+	}
+}
+
+func TestBackscatterSlopeR4(t *testing.T) {
+	lambda := Wavelength(24 * GHz)
+	p1 := BackscatterReceivedDBm(13, 20, 20, 12, 24, 1, lambda)
+	p2 := BackscatterReceivedDBm(13, 20, 20, 12, 24, 2, lambda)
+	// Two-way link: doubling range costs 40·log10(2) ≈ 12.04 dB.
+	near(t, p1-p2, 12.0412, 1e-3, "R⁻⁴ slope")
+}
+
+func TestBackscatterRangeInverse(t *testing.T) {
+	lambda := Wavelength(24 * GHz)
+	f := func(rRaw float64) bool {
+		r := 0.5 + math.Mod(math.Abs(rRaw), 10)
+		pr := BackscatterReceivedDBm(13, 20, 20, 12, 24, r, lambda)
+		rBack := BackscatterRangeForPowerM(13, 20, 20, 12, 24, pr, lambda)
+		return math.Abs(rBack-r) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApertureGainRoundTrip(t *testing.T) {
+	lambda := Wavelength(24 * GHz)
+	f := func(gRaw float64) bool {
+		g := math.Mod(math.Abs(gRaw), 40)
+		a := GainToApertureM2(g, lambda)
+		return math.Abs(ApertureGainDB(a, lambda)-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	near(t, Q(0), 0.5, 1e-12, "Q(0)")
+	near(t, Q(3.0902), 1e-3, 2e-5, "Q(3.09) ≈ 1e-3")
+	if Q(5) >= Q(4) {
+		t.Error("Q must be decreasing")
+	}
+	// Inverse round trip.
+	for _, p := range []float64{0.4, 1e-2, 1e-3, 1e-6} {
+		x := QInv(p)
+		near(t, Q(x), p, p*1e-6+1e-15, "Q(QInv(p))")
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	f := func(d float64) bool {
+		d = math.Mod(d, 1e4)
+		return math.Abs(RadToDeg(DegToRad(d))-d) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadarCrossSectionEquation(t *testing.T) {
+	// The RCS form and the gain form must agree when σ = Gtag²λ²/4π and
+	// tag loss is zero.
+	lambda := Wavelength(24 * GHz)
+	gtag := 12.0
+	sigma := FromDB(2*gtag) * lambda * lambda / (4 * math.Pi)
+	for _, r := range []float64{0.5, 1, 2, 4} {
+		a := BackscatterReceivedDBm(13, 20, 20, gtag, 0, r, lambda)
+		b := RadarCrossSectionReceivedDBm(13, 20, 20, sigma, r, lambda)
+		near(t, a, b, 1e-9, "gain-form vs RCS-form radar equation")
+	}
+}
+
+func TestFCCCompliance(t *testing.T) {
+	// The paper's reader: 13 dBm + 20 dBi horn = 33 dBm EIRP — right at
+	// (just over) the Part 15.249 limit; at 19 dBi it complies.
+	if got := EIRPdBm(13.01, 20); math.Abs(got-33.01) > 0.01 {
+		t.Errorf("EIRP %g", got)
+	}
+	if FCCCompliant24GHz(13.01, 20) {
+		t.Error("33 dBm EIRP exceeds the 32.7 dBm limit")
+	}
+	if !FCCCompliant24GHz(13.01, 19) {
+		t.Error("32 dBm EIRP should comply")
+	}
+	if !FCCCompliant24GHz(13.01, 19.69) {
+		t.Error("exactly at the limit should comply")
+	}
+}

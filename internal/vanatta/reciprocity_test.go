@@ -1,0 +1,74 @@
+package vanatta
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// TestBistaticReciprocity: the Van Atta scattering matrix is reciprocal —
+// the response observed at ψ for incidence θ equals the response at θ for
+// incidence ψ. This follows from the pair wiring being symmetric and is a
+// strong structural check on ReradiatedWeights.
+func TestBistaticReciprocity(t *testing.T) {
+	a := mustNew(t, 6)
+	f := func(rawT, rawP uint16) bool {
+		theta := (float64(rawT)/65535*2 - 1) * 1.2 // uniform ±69°
+		psi := (float64(rawP)/65535*2 - 1) * 1.2
+		ab := a.BistaticResponse(theta, psi, f24)
+		ba := a.BistaticResponse(psi, theta, f24)
+		return cmplx.Abs(ab-ba) <= 1e-9*(1+cmplx.Abs(ab))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBistaticSymmetryInSign: for a symmetric array the pattern is even
+// in (θ, ψ) → (−θ, −ψ).
+func TestBistaticSymmetryInSign(t *testing.T) {
+	a := mustNew(t, 8)
+	f := func(rawT, rawP uint16) bool {
+		theta := (float64(rawT)/65535*2 - 1) * 1.0 // uniform ±57°
+		psi := (float64(rawP)/65535*2 - 1) * 1.0
+		p1 := cmplx.Abs(a.BistaticResponse(theta, psi, f24))
+		p2 := cmplx.Abs(a.BistaticResponse(-theta, -psi, f24))
+		return math.Abs(p1-p2) <= 1e-9*(1+p1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonostaticFrequencyRobustness: retrodirectivity holds across the
+// whole 24 GHz ISM band the tag is "tuned to cover" (paper §7) — the
+// element detunes slightly off 24 GHz, reducing amplitude, but the beam
+// still points home.
+func TestMonostaticFrequencyRobustness(t *testing.T) {
+	a := mustNew(t, 6)
+	for _, f := range []float64{23.6e9, 24e9, 24.4e9} {
+		if e := a.RetroErrorDeg(0.4, f); e > 2 {
+			t.Errorf("f=%.2f GHz: retro error %g°", f/1e9, e)
+		}
+	}
+	// Amplitude is strongest at resonance.
+	on := cmplx.Abs(a.MonostaticResponse(0.2, 24e9))
+	off := cmplx.Abs(a.MonostaticResponse(0.2, 24.4e9))
+	if off >= on {
+		t.Errorf("off-resonance response %g not below resonance %g", off, on)
+	}
+}
+
+// TestModulationStatesIndependentOfOrder: querying modulation states must
+// be idempotent and not depend on the current switch state.
+func TestModulationStatesIndependentOfOrder(t *testing.T) {
+	a := mustNew(t, 6)
+	a.SetSwitch(false)
+	a0a, a1a := a.ModulationStates(0.3, f24)
+	a.SetSwitch(true)
+	a0b, a1b := a.ModulationStates(0.3, f24)
+	if cmplx.Abs(a0a-a0b) > 1e-15 || cmplx.Abs(a1a-a1b) > 1e-15 {
+		t.Error("modulation states depend on prior switch state")
+	}
+}

@@ -1,0 +1,186 @@
+// Package mmtag is a simulation-grade reimplementation of "Millimeter
+// Wave Backscatter: Toward Batteryless Wireless Networking at Gigabit
+// Speeds" (Mazaheri, Chen, Abari — HotNets '20): a 24 GHz backscatter
+// system whose passive Van Atta tag reflects the reader's signal back
+// toward its direction of arrival — solving mmWave beam alignment with
+// zero active components — while per-element RF switches OOK-modulate the
+// reflection at up to gigabit rates.
+//
+// The package is the stable facade over the internal subsystems:
+//
+//	Link      — one reader ⇄ tag pair: link budgets (paper Fig. 7) and
+//	            full waveform-level burst simulation.
+//	Network   — many tags under one scanning reader (SDM + Aloha MAC).
+//	NewTag    — the retrodirective tag model (paper Fig. 3b/4/5).
+//	Experiments… — regeneration of every figure/claim in the paper.
+//
+// Quickstart:
+//
+//	link, _ := mmtag.NewLink(mmtag.Feet(4))
+//	budget, _ := link.ComputeBudget()
+//	fmt.Println(mmtag.FormatRate(budget.RateBps)) // "1.00 Gb/s"
+package mmtag
+
+import (
+	"github.com/mmtag/mmtag/internal/antenna"
+	"github.com/mmtag/mmtag/internal/channel"
+	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/experiments"
+	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/reader"
+	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/sim"
+	"github.com/mmtag/mmtag/internal/tag"
+	"github.com/mmtag/mmtag/internal/units"
+	"github.com/mmtag/mmtag/internal/vanatta"
+)
+
+// Core system types.
+type (
+	// Link is one reader–tag pair; see core.Link.
+	Link = core.Link
+	// Budget is a link-budget breakdown (the Fig. 7 quantities).
+	Budget = core.Budget
+	// WaveformResult reports a waveform-level burst exchange.
+	WaveformResult = core.WaveformResult
+	// Capture is a raw synthesized receiver capture (persistable with
+	// the iqfile format via cmd/mmtag-capture).
+	Capture = core.Capture
+	// Network is a multi-tag deployment under one reader.
+	Network = core.Network
+	// BeamReading is one beam's scan outcome.
+	BeamReading = core.BeamReading
+	// Tag is the backscatter device model.
+	Tag = tag.Tag
+	// ReaderConfig is the reader's RF configuration.
+	ReaderConfig = reader.Config
+	// Horn is the mechanically steered reader antenna.
+	Horn = reader.Horn
+	// Environment is the propagation scene.
+	Environment = channel.Environment
+	// Reflector is an NLOS bounce surface.
+	Reflector = channel.Reflector
+	// Fading is the Rician small-scale fading model.
+	Fading = channel.Fading
+	// VanAttaArray is the retrodirective aperture (paper Eq. 4–5).
+	VanAttaArray = vanatta.Array
+	// Codebook is a set of reader scan beams.
+	Codebook = antenna.Codebook
+	// Pose is a position + heading in the scene plane.
+	Pose = geom.Pose
+	// Vec is a 2-D point/vector.
+	Vec = geom.Vec
+	// Segment is a wall/blocker/reflector surface between two points.
+	Segment = geom.Segment
+	// Source is the deterministic randomness every simulation consumes.
+	Source = rng.Source
+	// ReaderBandwidth is one selectable receiver bandwidth.
+	ReaderBandwidth = units.ReaderBandwidth
+	// SDMConfig configures the multi-tag scan schedule.
+	SDMConfig = mac.SDMConfig
+	// SDMResult is a scheduled scan cycle.
+	SDMResult = mac.SDMResult
+	// Mobility moves an entity along waypoints at constant speed.
+	Mobility = sim.Mobility
+	// TrackConfig parameterizes a mobility run (RunTrack).
+	TrackConfig = core.TrackConfig
+	// TrackResult is a mobility run's sampled time series.
+	TrackResult = core.TrackResult
+	// Trace accumulates named time-series columns and renders CSV.
+	Trace = sim.Trace
+)
+
+// NewTrace returns a trace with the given column names.
+func NewTrace(cols ...string) *Trace { return sim.NewTrace(cols...) }
+
+// RunTrack executes a tag-mobility run against a paper-default reader:
+// the reader re-scans for its best beam at every sample while the tag,
+// being retrodirective, never realigns.
+func RunTrack(cfg TrackConfig) (TrackResult, error) { return core.RunTrack(cfg) }
+
+// NewLink returns a paper-default link: 20 mW reader at the origin, a
+// 6-element tag at rangeM meters facing back, free space, 24 GHz.
+func NewLink(rangeM float64) (*Link, error) { return core.NewDefaultLink(rangeM) }
+
+// NewNetwork returns a paper-default reader serving the given tags.
+func NewNetwork(tags ...*Tag) *Network { return core.NewDefaultNetwork(tags...) }
+
+// NewTag returns a 6-element tag with the given identity and pose.
+func NewTag(id uint16, pose Pose) (*Tag, error) { return tag.New(id, pose) }
+
+// NewTagN returns a tag with n elements (even, ≥ 2) at frequency f Hz.
+func NewTagN(id uint16, pose Pose, n int, f float64) (*Tag, error) {
+	return tag.NewWithElements(id, pose, n, f)
+}
+
+// NewVanAtta returns the bare retrodirective aperture (n even, ≥ 2).
+func NewVanAtta(n int, freqHz float64) (*VanAttaArray, error) { return vanatta.New(n, freqHz) }
+
+// NewSource returns a deterministic randomness source for reproducible
+// simulations.
+func NewSource(seed uint64) *Source { return rng.New(seed) }
+
+// NewCodebook returns n scan beams uniformly covering [minRad, maxRad].
+func NewCodebook(minRad, maxRad float64, n int) (Codebook, error) {
+	return antenna.UniformCodebook(minRad, maxRad, n)
+}
+
+// ScheduleSDM builds one multi-tag scan cycle from scan readings.
+func ScheduleSDM(readings []BeamReading, cfg SDMConfig, src *Source) (SDMResult, error) {
+	return mac.ScheduleSDM(readings, cfg, src)
+}
+
+// DefaultSDMConfig returns the standard 1 ms dwell single-beam schedule.
+func DefaultSDMConfig() SDMConfig { return mac.DefaultSDMConfig() }
+
+// Feet converts feet to meters (the paper reports ranges in feet).
+func Feet(ft float64) float64 { return units.FeetToMeters(ft) }
+
+// FormatRate renders a bit rate with engineering units.
+func FormatRate(bps float64) string { return units.FormatRate(bps) }
+
+// PaperBandwidths returns the three receiver bandwidths of paper Fig. 7.
+func PaperBandwidths() []ReaderBandwidth { return units.PaperBandwidths() }
+
+// Experiment drivers — each regenerates one paper artifact (DESIGN.md §4).
+var (
+	// Figure6 regenerates paper Fig. 6 (element S11, switch off/on).
+	Figure6 = experiments.Figure6
+	// Figure7 regenerates paper Fig. 7 (power & rate vs range).
+	Figure7 = experiments.Figure7
+	// Retrodirectivity regenerates the Eq. 5 / Fig. 3 comparison.
+	Retrodirectivity = experiments.Retrodirectivity
+	// Beamwidth checks the §7 geometry claims.
+	Beamwidth = experiments.Beamwidth
+	// Comparison regenerates the §1/§3 baseline table.
+	Comparison = experiments.Comparison
+	// BERValidation regenerates the OOK BER waterfall (E6).
+	BERValidation = experiments.BERValidation
+	// MultiTag runs the §9 multi-tag extension (E7).
+	MultiTag = experiments.MultiTag
+	// SelfInterference runs the §9 isolation sweep (E8).
+	SelfInterference = experiments.SelfInterference
+	// EnergyFeasibility runs the batteryless-harvest sweep (E9).
+	EnergyFeasibility = experiments.EnergyFeasibility
+	// AntiCollision compares Aloha against the binary query tree (E10).
+	AntiCollision = experiments.AntiCollision
+	// Blockage runs the §4 NLOS-fallback sweep (E11).
+	Blockage = experiments.Blockage
+	// RateAdaptation runs the OOK/4-ASK adaptation sweep (E12).
+	RateAdaptation = experiments.RateAdaptation
+	// FadingMargin runs the Rician-fading margin sweep (E13).
+	FadingMargin = experiments.FadingMargin
+	// BandScaling runs the 24/39/60 GHz comparison (E14).
+	BandScaling = experiments.BandScaling
+	// CodedBER runs the Hamming(7,4) coded-vs-uncoded sweep (E15).
+	CodedBER = experiments.CodedBER
+	// ARQGoodput runs the link-layer stop-and-wait sweep (E16).
+	ARQGoodput = experiments.ARQGoodput
+	// PlanarTag runs the 2-D Van Atta comparison (E17).
+	PlanarTag = experiments.PlanarTag
+	// ArraySizeAblation runs ablation A1.
+	ArraySizeAblation = experiments.ArraySizeAblation
+	// ImpairmentAblation runs ablation A2.
+	ImpairmentAblation = experiments.ImpairmentAblation
+)
