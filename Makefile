@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json vet fmt experiments figures clean
 
 all: build test
 
@@ -12,6 +12,9 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 # Regenerate the outputs EXPERIMENTS.md records.
 outputs:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -19,6 +22,10 @@ outputs:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Machine-readable instrumentation-overhead benchmarks (BENCH_1.json).
+bench-json:
+	MMTAG_BENCH_JSON=$(CURDIR)/BENCH_1.json $(GO) test -run 'TestWriteBenchJSON' -v .
 
 vet:
 	$(GO) vet ./...

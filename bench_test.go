@@ -7,11 +7,14 @@
 package mmtag_test
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"testing"
 
 	"github.com/mmtag/mmtag"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
@@ -154,8 +157,32 @@ func BenchmarkImpairmentAblation(b *testing.B) {
 
 // BenchmarkWaveformBurst measures the cost of one complete waveform-level
 // burst exchange (frame → switch waveform → channel → sync → demod →
-// CRC) — the inner loop of every E8-style experiment.
+// CRC) — the inner loop of every E8-style experiment — with
+// observability off (the Nop fast path).
 func BenchmarkWaveformBurst(b *testing.B) {
+	obs.Disable()
+	benchBurst(b)
+}
+
+// BenchmarkBudgetOnly measures the analytic link-budget path alone — the
+// per-point cost of Fig. 7.
+func BenchmarkBudgetOnly(b *testing.B) {
+	link, err := mmtag.NewLink(mmtag.Feet(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := link.ComputeBudget(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBurst is the shared body of the instrumented-vs-Nop burst
+// benchmarks: one complete waveform burst per iteration.
+func benchBurst(b *testing.B) {
+	b.Helper()
 	link, err := mmtag.NewLink(mmtag.Feet(4))
 	if err != nil {
 		b.Fatal(err)
@@ -175,20 +202,117 @@ func BenchmarkWaveformBurst(b *testing.B) {
 	}
 }
 
-// BenchmarkBudgetOnly measures the analytic link-budget path alone — the
-// per-point cost of Fig. 7.
-func BenchmarkBudgetOnly(b *testing.B) {
-	link, err := mmtag.NewLink(mmtag.Feet(4))
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
+// BenchmarkWaveformBurstMetricsEnabled is BenchmarkWaveformBurst with
+// the observability registry installed: the delta against the plain
+// (Nop) benchmark is the full cost of live metric + span collection on
+// the hottest path.
+func BenchmarkWaveformBurstMetricsEnabled(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	benchBurst(b)
+}
+
+// BenchmarkObsDisabled measures one instrumentation call with no
+// registry installed — the per-site cost every hot path pays when
+// observability is off (an atomic load and a nil check).
+func BenchmarkObsDisabled(b *testing.B) {
+	obs.Disable()
 	for i := 0; i < b.N; i++ {
-		if _, err := link.ComputeBudget(); err != nil {
-			b.Fatal(err)
-		}
+		obs.Inc("bench_total")
 	}
 }
+
+// BenchmarkObsEnabled measures one live labeled counter increment.
+func BenchmarkObsEnabled(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	for i := 0; i < b.N; i++ {
+		obs.Inc("bench_total", obs.L("bw", "2GHz"))
+	}
+}
+
+// benchRecord is one row of BENCH_1.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON emits a machine-readable benchmark trajectory file
+// so later PRs can track instrumentation overhead. It only runs when
+// MMTAG_BENCH_JSON names the output path (the Makefile's bench-json
+// target); plain `go test` skips it.
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("MMTAG_BENCH_JSON")
+	if path == "" {
+		t.Skip("set MMTAG_BENCH_JSON=<path> to emit the benchmark JSON")
+	}
+	obs.Disable()
+	// Best-of-three per benchmark: the minimum ns/op is the usual
+	// noise-robust estimator when the machine has background load.
+	run := func(name string, fn func(b *testing.B)) benchRecord {
+		best := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		t.Logf("%s: %d ns/op, %d allocs/op", name, best.NsPerOp(), best.AllocsPerOp())
+		return benchRecord{
+			Name:        name,
+			NsPerOp:     float64(best.NsPerOp()),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+	}
+	records := []benchRecord{
+		run("waveform_burst_nop", BenchmarkWaveformBurst),
+		run("waveform_burst_metrics_enabled", BenchmarkWaveformBurstMetricsEnabled),
+		run("budget_only_nop", BenchmarkBudgetOnly),
+		run("obs_call_disabled", BenchmarkObsDisabled),
+		run("obs_counter_enabled", BenchmarkObsEnabled),
+	}
+	overheadPct := func(base, with float64) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return (with - base) / base * 100
+	}
+	out := struct {
+		Schema     string        `json:"schema"`
+		Note       string        `json:"note"`
+		Benchmarks []benchRecord `json:"benchmarks"`
+		// NopOverheadPctVsSeed compares the instrumented-but-disabled
+		// burst against the uninstrumented seed measurement taken on the
+		// same machine immediately before this layer landed.
+		SeedBurstNsPerOp     float64 `json:"seed_burst_ns_per_op"`
+		NopOverheadPctVsSeed float64 `json:"nop_overhead_pct_vs_seed"`
+		EnabledOverheadPct   float64 `json:"enabled_overhead_pct_vs_nop"`
+	}{
+		Schema:     "mmtag-bench/1",
+		Note:       "regenerate with `make bench-json`; numbers are machine-dependent",
+		Benchmarks: records,
+		// Seed baseline: BenchmarkWaveformBurst on the pre-obs tree
+		// (PR 0), same machine class as BENCH_1.json was generated on.
+		SeedBurstNsPerOp:     seedBurstNsPerOp,
+		NopOverheadPctVsSeed: overheadPct(seedBurstNsPerOp, records[0].NsPerOp),
+		EnabledOverheadPct:   overheadPct(records[0].NsPerOp, records[1].NsPerOp),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedBurstNsPerOp is BenchmarkWaveformBurst measured on the seed tree
+// (before internal/obs existed): best of three runs taken back-to-back
+// with the committed BENCH_1.json on the same machine. Update it only
+// when regenerating the file on comparable hardware.
+const seedBurstNsPerOp = 199607
 
 // BenchmarkOOKModem measures raw symbol-domain OOK modulation +
 // demodulation throughput.

@@ -31,18 +31,26 @@
 //
 // Flags:
 //
-//	-csv        emit CSV instead of an aligned table
-//	-points N   sweep resolution where applicable
-//	-seed N     randomness seed for the stochastic experiments
-//	-bits N     Monte-Carlo bits for the BER experiment
+//	-csv           emit CSV instead of an aligned table
+//	-points N      sweep resolution where applicable
+//	-seed N        randomness seed for the stochastic experiments
+//	-bits N        Monte-Carlo bits for the BER experiment
+//	-metrics PATH  collect metrics during the run and write them to PATH
+//	               after it ("-" = stdout; .json = JSON snapshot,
+//	               anything else = Prometheus text)
+//	-trace PATH    collect spans during the run and write the span trace
+//	               to PATH as JSON ("-" = stdout)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/mmtag/mmtag/internal/experiments"
+	"github.com/mmtag/mmtag/internal/obs"
 )
 
 func main() {
@@ -53,11 +61,13 @@ func main() {
 }
 
 type options struct {
-	csv    bool
-	svg    bool
-	points int
-	seed   uint64
-	bits   int
+	csv     bool
+	svg     bool
+	points  int
+	seed    uint64
+	bits    int
+	metrics string
+	trace   string
 }
 
 func run(args []string) error {
@@ -68,6 +78,8 @@ func run(args []string) error {
 	fs.IntVar(&opt.points, "points", 0, "sweep resolution (0 = experiment default)")
 	fs.Uint64Var(&opt.seed, "seed", 1, "randomness seed")
 	fs.IntVar(&opt.bits, "bits", 200_000, "Monte-Carlo bits for the BER experiment")
+	fs.StringVar(&opt.metrics, "metrics", "", "write collected metrics to this path after the run (\"-\" = stdout; .json = JSON snapshot, else Prometheus text)")
+	fs.StringVar(&opt.trace, "trace", "", "write the collected span trace to this path as JSON (\"-\" = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all> [flags]")
 		fs.PrintDefaults()
@@ -80,6 +92,10 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if opt.metrics != "" || opt.trace != "" {
+		reg = obs.Enable()
+	}
 	if name == "all" {
 		for _, n := range []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber", "mac", "selfint", "energy", "anticol", "blockage", "rateadapt", "fading", "bands", "coded", "arq", "planar", "arraysize", "impair"} {
 			if err := emit(n, opt); err != nil {
@@ -87,9 +103,61 @@ func run(args []string) error {
 			}
 			fmt.Println()
 		}
+		return writeObservability(reg, opt)
+	}
+	if err := emit(name, opt); err != nil {
+		return err
+	}
+	return writeObservability(reg, opt)
+}
+
+// writeObservability dumps the run's metrics and span trace to the
+// paths the -metrics / -trace flags name.
+func writeObservability(reg *obs.Registry, opt options) error {
+	if reg == nil {
 		return nil
 	}
-	return emit(name, opt)
+	write := func(path string, data []byte) error {
+		if path == "-" {
+			_, err := os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+	if opt.metrics != "" {
+		var (
+			data []byte
+			err  error
+		)
+		if strings.HasSuffix(opt.metrics, ".json") {
+			data, err = reg.Snapshot().JSON()
+			data = append(data, '\n')
+		} else {
+			data = []byte(reg.PrometheusText())
+		}
+		if err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+		if err := write(opt.metrics, data); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if opt.trace != "" {
+		spans, dropped := reg.Spans()
+		payload := struct {
+			Spans        []obs.SpanRecord `json:"spans"`
+			DroppedSpans uint64           `json:"dropped_spans,omitempty"`
+		}{Spans: spans, DroppedSpans: dropped}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return fmt.Errorf("trace snapshot: %w", err)
+		}
+		data = append(data, '\n')
+		if err := write(opt.trace, data); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
 }
 
 func emit(name string, opt options) error {

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -22,12 +23,20 @@ import (
 	"github.com/mmtag/mmtag/internal/channel"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
 )
+
+func init() {
+	// Decision-domain SNR estimates in dB: linear bins over the range
+	// the link actually produces (severed ≈ −10 dB, 4 ft ≈ 30+ dB).
+	obs.RegisterBuckets("core_snr_est_db",
+		-10, -5, 0, 5, 10, 15, 20, 25, 30, 40)
+}
 
 // CalibrationLossDB lumps the tag losses the analytic aperture model does
 // not capture — modulation conversion loss, polarization mismatch, switch
@@ -219,6 +228,13 @@ type Capture struct {
 // calibration. RunWaveformMCS = CaptureWaveform + reader.DecodeBurst.
 func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (Capture, error) {
 	var cap Capture
+	// Labels are only materialized when a registry is installed so the
+	// disabled path stays allocation-free (see BENCH_1.json).
+	var span *obs.Span
+	if obs.Enabled() {
+		span = obs.StartSpan("core.synth", obs.L("bw", bw.Label))
+	}
+	defer span.End()
 	b, err := l.ComputeBudget()
 	if err != nil {
 		return cap, err
@@ -300,6 +316,13 @@ func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBan
 // tighter SNR requirement.
 func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
 	var res WaveformResult
+	enabled := obs.Enabled()
+	var span *obs.Span
+	if enabled {
+		span = obs.StartSpan("core.burst", obs.L("bw", bw.Label), obs.L("mcs", mcs.String()))
+		obs.Inc("core_bursts_attempted_total", obs.L("bw", bw.Label))
+	}
+	defer span.End()
 	cap, err := l.CaptureWaveform(payload, mcs, bw, src)
 	res.Budget = cap.Budget
 	if err != nil {
@@ -315,12 +338,21 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 	if err != nil {
 		// Failure to decode is a measurement outcome, not an API error:
 		// report every payload bit as lost.
+		if enabled && errors.Is(err, reader.ErrSync) {
+			obs.Inc("core_sync_failures_total", obs.L("bw", bw.Label))
+		}
 		res.Decoded = false
 		res.TotalBits = 8 * len(payload)
 		res.BitErrors = res.TotalBits
+		obs.Add("core_bit_errors_total", float64(res.BitErrors))
 		return res, nil //nolint:nilerr
 	}
 	res.MeasuredSNRdB = stats.SNRdBEst
+	if enabled {
+		// A NaN estimate (inestimable SNR) is dropped and flagged by
+		// the registry rather than folded into the histogram.
+		obs.Observe("core_snr_est_db", stats.SNRdBEst, obs.L("bw", bw.Label))
+	}
 	res.Decoded = dec.Trailer.OK
 	res.TagID = dec.Header.TagID
 	res.Payload = append([]byte{}, dec.Payload.Data...)
@@ -336,5 +368,9 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 	} else {
 		res.BitErrors = res.TotalBits
 	}
+	if enabled && res.Decoded {
+		obs.Inc("core_bursts_decoded_total", obs.L("bw", bw.Label))
+	}
+	obs.Add("core_bit_errors_total", float64(res.BitErrors))
 	return res, nil
 }

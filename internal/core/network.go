@@ -7,6 +7,7 @@ import (
 	"github.com/mmtag/mmtag/internal/antenna"
 	"github.com/mmtag/mmtag/internal/channel"
 	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -80,9 +81,13 @@ func (n *Network) Scan(cb antenna.Codebook) ([]BeamReading, error) {
 	if len(cb.Angles) == 0 {
 		return nil, fmt.Errorf("core: empty codebook")
 	}
+	span := obs.StartSpan("core.scan", obs.L("beams", fmt.Sprintf("%d", len(cb.Angles))))
+	defer span.End()
 	thresh := n.DetectionThresholdDBm()
 	out := make([]BeamReading, 0, len(cb.Angles))
 	for _, beam := range cb.Angles {
+		dwellStart := obs.Clock()
+		obs.Inc("core_beams_scanned_total")
 		br := BeamReading{BeamRad: beam}
 		for _, t := range n.Tags {
 			b, err := n.linkFor(t, beam).ComputeBudget()
@@ -99,6 +104,8 @@ func (n *Network) Scan(cb antenna.Codebook) ([]BeamReading, error) {
 				Budget:      b,
 			})
 		}
+		obs.Add("core_tags_detected_total", float64(len(br.Tags)))
+		obs.Observe("core_beam_dwell_seconds", obs.Clock()-dwellStart)
 		// Strongest first.
 		for i := 1; i < len(br.Tags); i++ {
 			for j := i; j > 0 && br.Tags[j].ReceivedDBm > br.Tags[j-1].ReceivedDBm; j-- {

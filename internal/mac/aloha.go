@@ -9,6 +9,7 @@ package mac
 import (
 	"fmt"
 
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/rng"
 )
 
@@ -104,6 +105,12 @@ func RunAloha(nTags int, cfg AlohaConfig, src *rng.Source) (AlohaResult, error) 
 		}
 	}
 	res.Resolved = nTags - remaining
+	obs.Inc("mac_aloha_runs_total")
+	obs.Add("mac_aloha_rounds_total", float64(res.Rounds))
+	obs.Add("mac_aloha_slots_total", float64(res.SingletonSlots), obs.L("kind", "singleton"))
+	obs.Add("mac_aloha_slots_total", float64(res.CollisionSlots), obs.L("kind", "collision"))
+	obs.Add("mac_aloha_slots_total", float64(res.IdleSlots), obs.L("kind", "idle"))
+	obs.Add("mac_aloha_unresolved_total", float64(remaining))
 	return res, nil
 }
 

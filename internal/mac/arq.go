@@ -2,9 +2,12 @@ package mac
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/sim"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -43,11 +46,18 @@ type ARQResult struct {
 	// GoodputBps scales the link's symbol rate by GoodputFraction and
 	// the OOK bit/symbol.
 	GoodputBps float64
+	// AirTimeS is the virtual air time of every transmitted burst, as
+	// accounted by the discrete-event engine that paces the run.
+	AirTimeS float64
 }
 
 // RunARQ delivers nFrames over the waveform-level link at the given
-// receiver bandwidth. Every burst is a full synthesis + decode; the
-// result is deterministic for a fixed source.
+// receiver bandwidth. The exchange is paced by a discrete-event engine:
+// every burst occupies its real air time (burst symbols / symbol rate)
+// on the virtual clock, each decode outcome schedules either the
+// retransmission or the next frame, and AirTimeS reports where the time
+// went. Every burst is a full synthesis + decode; the result is
+// deterministic for a fixed source.
 func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, src *rng.Source) (ARQResult, error) {
 	var res ARQResult
 	if nFrames <= 0 {
@@ -59,40 +69,75 @@ func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, 
 	if cfg.MaxRetries < 0 {
 		return res, fmt.Errorf("mac: negative retries")
 	}
+	symbolRate := bw.BandwidthHz * units.OOKSpectralEfficiency
+	if symbolRate <= 0 {
+		return res, fmt.Errorf("mac: bandwidth %q has no symbol rate", bw.Label)
+	}
 	burstSymbols := tag.BurstSymbolCount(cfg.FrameBytes)
 	payloadBits := 8 * cfg.FrameBytes
+	burstS := float64(burstSymbols) / symbolRate
+
+	eng := sim.NewEngine()
 	failures := 0
-	for f := 0; f < nFrames; f++ {
-		res.FramesOffered++
-		payload := src.Bytes(make([]byte, cfg.FrameBytes))
-		delivered := false
-		for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-			res.Transmissions++
-			r, err := l.RunWaveform(payload, bw, src)
-			if err != nil {
-				return res, err
-			}
-			ok := r.Decoded && r.BitErrors == 0
-			if attempt == 0 && !ok {
-				failures++
-			}
-			if ok {
-				delivered = true
-				break
-			}
+	var runErr error
+	frameIdx, attempt := 0, 0
+	var payload []byte
+	var burst func(now float64)
+	burst = func(now float64) {
+		if runErr != nil {
+			return
 		}
-		if delivered {
+		if attempt == 0 {
+			payload = src.Bytes(make([]byte, cfg.FrameBytes))
+			res.FramesOffered++
+		}
+		res.Transmissions++
+		r, err := l.RunWaveform(payload, bw, src)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ok := r.Decoded && r.BitErrors == 0
+		if attempt == 0 && !ok {
+			failures++
+		}
+		switch {
+		case ok:
 			res.FramesDelivered++
-		} else {
+		case attempt < cfg.MaxRetries:
+			attempt++
+			obs.Inc("mac_arq_retries_total")
+			runErr = eng.After(burstS, 0, burst)
+			return
+		default:
 			res.ResidualErrors++
+			obs.Inc("mac_arq_residual_errors_total")
 		}
+		frameIdx++
+		attempt = 0
+		if frameIdx < nFrames {
+			runErr = eng.After(burstS, 0, burst)
+		}
+	}
+	if err := eng.After(0, 0, burst); err != nil {
+		return res, err
+	}
+	if _, err := eng.Run(math.Inf(1)); err != nil {
+		return res, err
+	}
+	if runErr != nil {
+		return res, runErr
 	}
 	res.Retransmissions = res.Transmissions - res.FramesOffered
 	res.FirstTryFER = float64(failures) / float64(res.FramesOffered)
+	res.AirTimeS = float64(res.Transmissions) * burstS
 	totalBits := res.Transmissions * burstSymbols // OOK: 1 bit/symbol airtime
 	if totalBits > 0 {
 		res.GoodputFraction = float64(res.FramesDelivered*payloadBits) / float64(totalBits)
 	}
 	res.GoodputBps = res.GoodputFraction * bw.BitRate()
+	obs.Add("mac_arq_frames_offered_total", float64(res.FramesOffered))
+	obs.Add("mac_arq_frames_delivered_total", float64(res.FramesDelivered))
+	obs.Add("mac_arq_transmissions_total", float64(res.Transmissions))
 	return res, nil
 }

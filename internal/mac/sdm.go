@@ -5,8 +5,16 @@ import (
 	"sort"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/rng"
 )
+
+func init() {
+	// Scan-cycle durations: default dwell is 1 ms/tag, so cycles land
+	// between 10 µs (switch-only) and seconds (large populations).
+	obs.RegisterBuckets("mac_sdm_cycle_seconds",
+		1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1)
+}
 
 // SDMConfig parameterizes the sector-scan schedule.
 type SDMConfig struct {
@@ -128,6 +136,8 @@ func ScheduleSDM(readings []core.BeamReading, cfg SDMConfig, src *rng.Source) (S
 	sort.Slice(res.Shares, func(i, j int) bool {
 		return res.Shares[i].GoodputBps > res.Shares[j].GoodputBps
 	})
+	obs.Inc("mac_sdm_cycles_total")
+	obs.Observe("mac_sdm_cycle_seconds", res.CycleS)
 	return res, nil
 }
 

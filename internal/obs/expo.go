@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound (+Inf for the overflow).
+	LE float64 `json:"le"`
+	// Count is the cumulative sample count at or below LE.
+	Count uint64 `json:"count"`
+}
+
+// MetricSnapshot is one series frozen at snapshot time.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value"`
+	// Count/Sum/Min/Max/Buckets carry histograms.
+	Count   uint64        `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Min     float64       `json:"min,omitempty"`
+	Max     float64       `json:"max,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a consistent point-in-time view of the registry: every
+// metric series plus the finished spans.
+type Snapshot struct {
+	TakenAtS     float64          `json:"taken_at_s"`
+	Metrics      []MetricSnapshot `json:"metrics"`
+	Spans        []SpanRecord     `json:"spans,omitempty"`
+	DroppedSpans uint64           `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot freezes the registry. Series appear in first-touch order.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{TakenAtS: r.clock()}
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			s := f.series[key]
+			m := MetricSnapshot{Name: name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				m.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			if f.kind == KindHistogram {
+				m.Count = s.count
+				m.Sum = s.sum
+				if s.count > 0 {
+					m.Min, m.Max = s.min, s.max
+				}
+				cum := uint64(0)
+				for i, b := range f.buckets {
+					cum += s.counts[i]
+					m.Buckets = append(m.Buckets, BucketCount{LE: b, Count: cum})
+				}
+				m.Buckets = append(m.Buckets, BucketCount{LE: math.Inf(1), Count: s.count})
+			} else {
+				m.Value = s.value
+			}
+			snap.Metrics = append(snap.Metrics, m)
+		}
+	}
+	snap.Spans = append([]SpanRecord{}, r.spans...)
+	snap.DroppedSpans = r.dropped
+	return snap
+}
+
+// MarshalJSON renders +Inf bucket bounds as the string "+Inf" so the
+// snapshot is valid JSON.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// SeriesCount returns the number of metric series in the snapshot.
+func (s Snapshot) SeriesCount() int { return len(s.Metrics) }
+
+// Counter returns the value of a counter/gauge series matching name and
+// labels (ok=false when absent). With no labels it sums every series in
+// the family, so `Counter("core_bursts_attempted_total")` is the total
+// across bandwidths without knowing the label set.
+func (s Snapshot) Counter(name string, labels ...Label) (float64, bool) {
+	if len(labels) == 0 {
+		var sum float64
+		found := false
+		for _, m := range s.Metrics {
+			if m.Name == name && m.Kind != KindHistogram.String() {
+				sum += m.Value
+				found = true
+			}
+		}
+		return sum, found
+	}
+	want := sortLabels(labels)
+	for _, m := range s.Metrics {
+		if m.Name != name || len(m.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for _, l := range want {
+			if m.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// PrometheusText renders the registry in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (r *Registry) PrometheusText() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		n := sanitizeName(name)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, f.kind)
+		for _, key := range f.order {
+			s := f.series[key]
+			if f.kind != KindHistogram {
+				fmt.Fprintf(&b, "%s%s %s\n", n, formatLabels(s.labels), formatFloat(s.value))
+				continue
+			}
+			cum := uint64(0)
+			for i, bound := range f.buckets {
+				cum += s.counts[i]
+				le := Label{Key: "le", Value: formatFloat(bound)}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", n, formatLabels(s.labels, le), cum)
+			}
+			le := Label{Key: "le", Value: "+Inf"}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", n, formatLabels(s.labels, le), s.count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", n, formatLabels(s.labels), formatFloat(s.sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", n, formatLabels(s.labels), s.count)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,415 @@
+// Package obs is the repo-wide observability layer: a concurrency-safe
+// metrics registry (counters, gauges and fixed-bucket histograms, all
+// with labeled series) plus a lightweight span tracer, exposed in two
+// formats — Prometheus-style text and a JSON snapshot.
+//
+// Instrumentation sites call the package-level helpers (Inc, Add, Set,
+// Observe, StartSpan). By default no registry is installed and every
+// helper is a no-op costing one atomic load, so hot paths stay
+// effectively free until Enable installs a Registry. The sim engine can
+// drive spans on virtual time via StartSpanAt / EndAt; everything else
+// uses the registry clock (wall time unless SetClock overrides it).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension of a metric series or span.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label at a call site.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies a metric family.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind the way the Prometheus text format does.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Recorder is the instrumentation surface. *Registry implements it, and
+// Nop implements it as a guaranteed no-op, so components can accept a
+// Recorder and be handed either.
+type Recorder interface {
+	// Enabled reports whether observations are being kept.
+	Enabled() bool
+	// Add increments the named counter by delta (delta ≥ 0).
+	Add(name string, delta float64, labels ...Label)
+	// Set sets the named gauge.
+	Set(name string, value float64, labels ...Label)
+	// Observe records one histogram sample. NaN samples are never
+	// folded into the distribution; they are counted separately under
+	// NaNCounterName so a poisoned estimator is visible, not viral.
+	Observe(name string, value float64, labels ...Label)
+	// StartSpan opens a span at the recorder clock's current time.
+	StartSpan(name string, labels ...Label) *Span
+	// StartSpanAt opens a span at an explicit time (virtual clocks).
+	StartSpanAt(name string, at float64, labels ...Label) *Span
+}
+
+// Nop is the Recorder that records nothing.
+type Nop struct{}
+
+// Enabled always reports false.
+func (Nop) Enabled() bool { return false }
+
+// Add discards the observation.
+func (Nop) Add(string, float64, ...Label) {}
+
+// Set discards the observation.
+func (Nop) Set(string, float64, ...Label) {}
+
+// Observe discards the observation.
+func (Nop) Observe(string, float64, ...Label) {}
+
+// StartSpan returns the nil span, whose methods all no-op.
+func (Nop) StartSpan(string, ...Label) *Span { return nil }
+
+// StartSpanAt returns the nil span, whose methods all no-op.
+func (Nop) StartSpanAt(string, float64, ...Label) *Span { return nil }
+
+// NaNCounterName is the counter family that counts NaN samples dropped
+// by Observe, labeled by the metric they were aimed at.
+const NaNCounterName = "obs_nan_observations_total"
+
+// DefaultBuckets bound histograms that were not given explicit buckets
+// via RegisterBuckets: decades from 1 µs to 100 (seconds, mostly).
+var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+
+// bucketTemplates maps histogram family names to their bucket bounds.
+// Instrumented packages register their families from init so any
+// Registry enabled later picks the right shape up.
+var (
+	bucketMu        sync.Mutex
+	bucketTemplates = map[string][]float64{}
+)
+
+// RegisterBuckets declares the bucket upper bounds for a histogram
+// family. Bounds are sorted; registration is idempotent (last wins).
+func RegisterBuckets(name string, bounds ...float64) {
+	b := append([]float64{}, bounds...)
+	sort.Float64s(b)
+	bucketMu.Lock()
+	bucketTemplates[name] = b
+	bucketMu.Unlock()
+}
+
+func bucketsFor(name string) []float64 {
+	bucketMu.Lock()
+	defer bucketMu.Unlock()
+	if b, ok := bucketTemplates[name]; ok {
+		return b
+	}
+	return DefaultBuckets
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label // sorted by key
+	// counter/gauge state.
+	value float64
+	// histogram state.
+	counts   []uint64 // one per bucket bound, plus the +Inf overflow
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	kind    Kind
+	buckets []float64
+	series  map[string]*series
+	order   []string // insertion order for stable exposition
+}
+
+// Registry is a concurrency-safe metric and span store.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family insertion order
+
+	clock func() float64
+
+	nextSpanID uint64
+	spans      []SpanRecord
+	maxSpans   int
+	dropped    uint64
+}
+
+// NewRegistry returns an empty registry on the wall clock.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: map[string]*family{},
+		clock:    func() float64 { return float64(time.Now().UnixNano()) / 1e9 },
+		maxSpans: 4096,
+	}
+}
+
+// SetClock replaces the registry clock (seconds). The sim engine uses
+// this to put spans on virtual time.
+func (r *Registry) SetClock(fn func() float64) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = fn
+	r.mu.Unlock()
+}
+
+// Now returns the registry clock's current time in seconds.
+func (r *Registry) Now() float64 {
+	r.mu.Lock()
+	fn := r.clock
+	r.mu.Unlock()
+	return fn()
+}
+
+// Enabled reports true: an installed Registry keeps observations.
+func (r *Registry) Enabled() bool { return true }
+
+// seriesKey encodes sorted labels into a map key.
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]Label{}, labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// getSeries finds or creates a series; caller holds r.mu.
+func (r *Registry) getSeries(name string, kind Kind, labels []Label) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{kind: kind, series: map[string]*series{}}
+		if kind == KindHistogram {
+			f.buckets = bucketsFor(name)
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	labels = sortLabels(labels)
+	key := seriesKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels, min: math.Inf(1), max: math.Inf(-1)}
+		if kind == KindHistogram {
+			s.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Add increments a counter. Negative deltas are ignored (counters are
+// monotone by contract).
+func (r *Registry) Add(name string, delta float64, labels ...Label) {
+	if delta < 0 || math.IsNaN(delta) {
+		return
+	}
+	r.mu.Lock()
+	r.getSeries(name, KindCounter, labels).value += delta
+	r.mu.Unlock()
+}
+
+// Set sets a gauge.
+func (r *Registry) Set(name string, value float64, labels ...Label) {
+	r.mu.Lock()
+	r.getSeries(name, KindGauge, labels).value = value
+	r.mu.Unlock()
+}
+
+// Observe records one histogram sample. NaN samples are dropped from
+// the distribution and counted under NaNCounterName instead, so a NaN
+// estimate (e.g. an inestimable SNR) cannot poison min/mean/max.
+func (r *Registry) Observe(name string, value float64, labels ...Label) {
+	if math.IsNaN(value) {
+		r.Add(NaNCounterName, 1, Label{Key: "metric", Value: name})
+		return
+	}
+	r.mu.Lock()
+	s := r.getSeries(name, KindHistogram, labels)
+	f := r.families[name]
+	i := sort.SearchFloat64s(f.buckets, value) // first bound ≥ value; len = +Inf
+	s.counts[i]++
+	s.count++
+	s.sum += value
+	s.min = math.Min(s.min, value)
+	s.max = math.Max(s.max, value)
+	r.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Package-level default recorder.
+
+var active atomic.Pointer[Registry]
+
+// Enable installs a fresh Registry as the package default and returns
+// it. Until Enable is called every package-level helper is a no-op.
+func Enable() *Registry {
+	r := NewRegistry()
+	active.Store(r)
+	return r
+}
+
+// EnableWith installs an existing Registry as the package default.
+func EnableWith(r *Registry) { active.Store(r) }
+
+// Disable removes the default Registry; helpers become no-ops again.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed Registry, or nil when disabled.
+func Active() *Registry { return active.Load() }
+
+// Default returns the active recorder: the installed Registry, or Nop.
+func Default() Recorder {
+	if r := active.Load(); r != nil {
+		return r
+	}
+	return Nop{}
+}
+
+// Enabled reports whether a Registry is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Inc increments a counter on the default recorder by 1.
+func Inc(name string, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.Add(name, 1, labels...)
+	}
+}
+
+// Add increments a counter on the default recorder.
+func Add(name string, delta float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.Add(name, delta, labels...)
+	}
+}
+
+// Set sets a gauge on the default recorder.
+func Set(name string, value float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.Set(name, value, labels...)
+	}
+}
+
+// Observe records a histogram sample on the default recorder.
+func Observe(name string, value float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.Observe(name, value, labels...)
+	}
+}
+
+// Clock returns the default recorder's current time in seconds, or 0
+// when disabled (the paired Observe is a no-op then anyway).
+func Clock() float64 {
+	if r := active.Load(); r != nil {
+		return r.Now()
+	}
+	return 0
+}
+
+// StartSpan opens a span on the default recorder (nil when disabled).
+func StartSpan(name string, labels ...Label) *Span {
+	if r := active.Load(); r != nil {
+		return r.StartSpan(name, labels...)
+	}
+	return nil
+}
+
+// StartSpanAt opens a span at an explicit time on the default recorder.
+func StartSpanAt(name string, at float64, labels ...Label) *Span {
+	if r := active.Load(); r != nil {
+		return r.StartSpanAt(name, at, labels...)
+	}
+	return nil
+}
+
+// sanitizeName maps arbitrary metric/label names onto the Prometheus
+// text format's charset so exposition is total rather than failing.
+func sanitizeName(name string) string {
+	ok := true
+	for _, c := range name {
+		if !(c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for _, c := range name {
+		if c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", sanitizeName(l.Key), escapeLabelValue(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

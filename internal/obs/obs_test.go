@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Add("bursts_total", 1)
+	r.Add("bursts_total", 2)
+	r.Add("bursts_total", -5) // negative deltas ignored: counters are monotone
+	r.Set("queue_depth", 7)
+	r.Set("queue_depth", 3)
+	snap := r.Snapshot()
+	if v, ok := snap.Counter("bursts_total"); !ok || v != 3 {
+		t.Errorf("counter = %g, %v", v, ok)
+	}
+	if v, ok := snap.Counter("queue_depth"); !ok || v != 3 {
+		t.Errorf("gauge = %g, %v", v, ok)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Add("reads_total", 1, L("bw", "30MHz"))
+	r.Add("reads_total", 1, L("bw", "2GHz"))
+	r.Add("reads_total", 1, L("bw", "2GHz"))
+	// Label order must not matter for identity.
+	r.Add("multi_total", 1, L("a", "1"), L("b", "2"))
+	r.Add("multi_total", 1, L("b", "2"), L("a", "1"))
+	snap := r.Snapshot()
+	if v, _ := snap.Counter("reads_total", L("bw", "30MHz")); v != 1 {
+		t.Errorf("30MHz series = %g", v)
+	}
+	if v, _ := snap.Counter("reads_total", L("bw", "2GHz")); v != 2 {
+		t.Errorf("2GHz series = %g", v)
+	}
+	if v, _ := snap.Counter("multi_total", L("a", "1"), L("b", "2")); v != 2 {
+		t.Errorf("label order split a series: %g", v)
+	}
+	// Label-less lookup sums the whole family.
+	if v, ok := snap.Counter("reads_total"); !ok || v != 3 {
+		t.Errorf("family sum = %g, %v; want 3, true", v, ok)
+	}
+	if _, ok := snap.Counter("absent_total"); ok {
+		t.Error("absent family reported ok")
+	}
+}
+
+func TestHistogramBucketsAndNaN(t *testing.T) {
+	RegisterBuckets("snr_db", -10, 0, 10, 20)
+	r := NewRegistry()
+	for _, v := range []float64{-15, -10, -3, 0, 5, 15, 25, math.NaN()} {
+		r.Observe("snr_db", v)
+	}
+	snap := r.Snapshot()
+	var m *MetricSnapshot
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == "snr_db" {
+			m = &snap.Metrics[i]
+		}
+	}
+	if m == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if m.Count != 7 {
+		t.Errorf("NaN folded into the distribution: count = %d", m.Count)
+	}
+	if m.Min != -15 || m.Max != 25 {
+		t.Errorf("min/max = %g/%g", m.Min, m.Max)
+	}
+	if math.IsNaN(m.Sum) {
+		t.Error("NaN poisoned the sum")
+	}
+	// Cumulative buckets: ≤-10 → 2, ≤0 → 4, ≤10 → 5, ≤20 → 6, +Inf → 7.
+	want := []uint64{2, 4, 5, 6, 7}
+	for i, b := range m.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	// The dropped NaN must be flagged, not silent.
+	if v, ok := snap.Counter(NaNCounterName, L("metric", "snr_db")); !ok || v != 1 {
+		t.Errorf("NaN drop counter = %g, %v", v, ok)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	RegisterBuckets("dur_s", 0.001, 0.1)
+	r := NewRegistry()
+	r.Add("ops_total", 2, L("kind", "scan"))
+	r.Set("depth", 4)
+	r.Observe("dur_s", 0.05)
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{kind="scan"} 2`,
+		"# TYPE depth gauge",
+		"depth 4",
+		"# TYPE dur_s histogram",
+		`dur_s_bucket{le="0.001"} 0`,
+		`dur_s_bucket{le="0.1"} 1`,
+		`dur_s_bucket{le="+Inf"} 1`,
+		"dur_s_sum 0.05",
+		"dur_s_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a_total", 1)
+	r.Observe("h", 0.5)
+	sp := r.StartSpanAt("run", 1.0)
+	sp.SetAttr("exp", "test")
+	sp.EndAt(3.5)
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, raw)
+	}
+	if _, ok := back["metrics"]; !ok {
+		t.Error("no metrics key")
+	}
+	if _, ok := back["spans"]; !ok {
+		t.Error("no spans key")
+	}
+}
+
+func TestSpanTreeAndVirtualTime(t *testing.T) {
+	r := NewRegistry()
+	now := 10.0
+	r.SetClock(func() float64 { return now })
+	root := r.StartSpan("sim.run")
+	now = 11
+	child := root.StartChild("burst", L("bw", "2GHz"))
+	now = 12
+	child.End()
+	now = 15
+	root.End()
+	spans, dropped := r.Spans()
+	if dropped != 0 || len(spans) != 2 {
+		t.Fatalf("spans = %d, dropped = %d", len(spans), dropped)
+	}
+	if spans[0].Name != "burst" || spans[0].ParentID != spans[1].ID {
+		t.Errorf("parent link broken: %+v", spans)
+	}
+	if spans[0].DurS != 1 || spans[1].DurS != 5 {
+		t.Errorf("durations %g, %g", spans[0].DurS, spans[1].DurS)
+	}
+}
+
+func TestSpanBufferBounded(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSpans(2)
+	for i := 0; i < 5; i++ {
+		r.StartSpanAt("s", 0).EndAt(1)
+	}
+	spans, dropped := r.Spans()
+	if len(spans) != 2 || dropped != 3 {
+		t.Errorf("kept %d, dropped %d", len(spans), dropped)
+	}
+}
+
+func TestNopAndNilSpanAreSafe(t *testing.T) {
+	var n Nop
+	n.Add("x", 1)
+	n.Set("x", 1)
+	n.Observe("x", 1)
+	sp := n.StartSpan("x")
+	sp.SetAttr("k", "v")
+	sp.StartChild("y").End()
+	sp.End()
+	if n.Enabled() {
+		t.Error("Nop claims enabled")
+	}
+	// Package-level helpers with no registry installed.
+	Disable()
+	Inc("x")
+	Observe("x", 1)
+	Set("x", 1)
+	StartSpan("x").End()
+	if Enabled() || Active() != nil {
+		t.Error("registry should be absent")
+	}
+	if _, ok := Default().(Nop); !ok {
+		t.Error("default recorder should be Nop when disabled")
+	}
+}
+
+func TestEnableDisableDefault(t *testing.T) {
+	r := Enable()
+	defer Disable()
+	Inc("facade_total")
+	Add("facade_total", 2)
+	if v, ok := r.Snapshot().Counter("facade_total"); !ok || v != 3 {
+		t.Errorf("default-recorder counter = %g, %v", v, ok)
+	}
+	if Default() != Recorder(r) {
+		t.Error("Default should be the installed registry")
+	}
+}
+
+// TestConcurrentWriters hammers one registry from many goroutines; run
+// with -race (CI does) to verify the locking.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := L("g", string(rune('a'+g%4)))
+			for i := 0; i < perG; i++ {
+				r.Add("conc_total", 1, lbl)
+				r.Set("conc_gauge", float64(i))
+				r.Observe("conc_hist", float64(i%7))
+				sp := r.StartSpan("conc.span", lbl)
+				sp.SetAttr("i", "x")
+				sp.End()
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.PrometheusText()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total float64
+	for _, m := range snap.Metrics {
+		if m.Name == "conc_total" {
+			total += m.Value
+		}
+	}
+	if total != goroutines*perG {
+		t.Errorf("lost counter increments: %g", total)
+	}
+	var hist *MetricSnapshot
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == "conc_hist" {
+			hist = &snap.Metrics[i]
+		}
+	}
+	if hist == nil || hist.Count != goroutines*perG {
+		t.Errorf("lost histogram samples: %+v", hist)
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+// Span is one timed operation. Spans form trees through StartChild and
+// carry free-form attributes. A nil *Span is the no-op span: every
+// method is nil-safe, so disabled instrumentation costs a nil check.
+type Span struct {
+	reg    *Registry
+	id     uint64
+	parent uint64
+	name   string
+	start  float64
+	attrs  []Label
+}
+
+// SpanRecord is one finished span as kept by the registry and exposed
+// in snapshots.
+type SpanRecord struct {
+	ID       uint64  `json:"id"`
+	ParentID uint64  `json:"parent_id,omitempty"`
+	Name     string  `json:"name"`
+	StartS   float64 `json:"start_s"`
+	EndS     float64 `json:"end_s"`
+	DurS     float64 `json:"dur_s"`
+	Attrs    []Label `json:"attrs,omitempty"`
+}
+
+// StartSpan opens a root span at the registry clock's current time.
+func (r *Registry) StartSpan(name string, labels ...Label) *Span {
+	return r.StartSpanAt(name, r.Now(), labels...)
+}
+
+// StartSpanAt opens a root span at an explicit time in seconds — the
+// hook virtual-clock callers (the sim engine) use.
+func (r *Registry) StartSpanAt(name string, at float64, labels ...Label) *Span {
+	r.mu.Lock()
+	r.nextSpanID++
+	id := r.nextSpanID
+	r.mu.Unlock()
+	return &Span{reg: r, id: id, name: name, start: at, attrs: append([]Label{}, labels...)}
+}
+
+// StartChild opens a sub-span at the registry clock's current time.
+func (s *Span) StartChild(name string, labels ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.StartChildAt(name, s.reg.Now(), labels...)
+}
+
+// StartChildAt opens a sub-span at an explicit time.
+func (s *Span) StartChildAt(name string, at float64, labels ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.reg.StartSpanAt(name, at, labels...)
+	c.parent = s.id
+	return c
+}
+
+// SetAttr attaches (or appends) one attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+}
+
+// End closes the span at the registry clock's current time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.reg.Now())
+}
+
+// EndAt closes the span at an explicit time and records it. The
+// registry keeps at most maxSpans finished spans; older runs are not
+// evicted — further spans are counted as dropped so a snapshot can say
+// the trace is truncated.
+func (s *Span) EndAt(at float64) {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:       s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		StartS:   s.start,
+		EndS:     at,
+		DurS:     at - s.start,
+		Attrs:    s.attrs,
+	}
+	r := s.reg
+	r.mu.Lock()
+	if len(r.spans) < r.maxSpans {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// SetMaxSpans bounds the finished-span buffer (0 keeps the default).
+func (r *Registry) SetMaxSpans(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.maxSpans = n
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the finished spans and how many were dropped
+// after the buffer filled.
+func (r *Registry) Spans() ([]SpanRecord, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord{}, r.spans...), r.dropped
+}

@@ -1,14 +1,28 @@
 package reader
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/phy"
 )
+
+// ErrSync reports that burst detection found no preamble; callers (and
+// metrics) separate it from demodulation/framing failures with
+// errors.Is.
+var ErrSync = errors.New("reader: sync failed")
+
+func init() {
+	// The preamble metric is an unnormalized correlation peak at √W
+	// amplitude scale (~1e-5 on the default link); decades cover it.
+	obs.RegisterBuckets("reader_preamble_metric",
+		1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1)
+}
 
 // RxStats summarizes one burst reception.
 type RxStats struct {
@@ -106,24 +120,39 @@ func DecideASK4(decisions []complex128) (bits []byte, err error) {
 // the scheme the header names.
 func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
 	var stats RxStats
+	span := obs.StartSpan("reader.decode")
+	defer span.End()
+	obs.Inc("reader_bursts_total")
+
+	sync := span.StartChild("reader.sync")
 	start, metric, err := w.DetectBurst(samples, 0)
+	sync.End()
 	if err != nil {
-		return nil, stats, fmt.Errorf("reader: sync failed: %w", err)
+		obs.Inc("reader_sync_failures_total")
+		return nil, stats, fmt.Errorf("%w: %v", ErrSync, err)
 	}
 	stats.PreambleMetric = metric
+	obs.Observe("reader_preamble_metric", metric)
 
+	decide := span.StartChild("reader.decide")
 	headerSyms := frame.HeaderLen * 8
 	dec, err := w.MatchedFilter(samples, start, headerSyms)
 	if err != nil {
+		decide.End()
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
 	headerBits, thr, err := DecideOOK(dec)
 	if err != nil {
+		decide.End()
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
 	stats.Threshold = thr
 	headerBytes, err := frame.BytesFromBits(headerBits)
 	if err != nil {
+		decide.End()
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
 	var hdr frame.Header
@@ -131,6 +160,8 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	// payload slice even though we have not demodulated it yet.
 	padded := append(append([]byte{}, headerBytes...), 0)
 	if err := hdr.DecodeFromBytes(padded); err != nil {
+		decide.End()
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "header"))
 		return nil, stats, fmt.Errorf("reader: header: %w", err)
 	}
 
@@ -142,6 +173,8 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	restStart := start + headerSyms*w.SPS
 	decRest, err := w.MatchedFilter(samples, restStart, restSyms)
 	if err != nil {
+		decide.End()
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
 
@@ -151,6 +184,8 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 		// Header decided on its own threshold; payload by 4-level rails.
 		payloadBits, err := DecideASK4(decRest)
 		if err != nil {
+			decide.End()
+			obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 			return nil, stats, err
 		}
 		bits = append(append([]byte{}, headerBits...), payloadBits...)
@@ -165,6 +200,8 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 		all := append(append([]complex128{}, dec...), decRest...)
 		bits, thr, err = DecideOOK(all)
 		if err != nil {
+			decide.End()
+			obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 			return nil, stats, err
 		}
 		stats.Threshold = thr
@@ -174,12 +211,18 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 			stats.SNRdBEst = math.NaN()
 		}
 	}
+	decide.End()
+
+	deframe := span.StartChild("reader.deframe")
+	defer deframe.End()
 	raw, err := frame.BytesFromBits(bits)
 	if err != nil {
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "deframe"))
 		return nil, stats, err
 	}
 	var out frame.Decoded
 	if err := (&frame.Parser{}).Decode(raw, &out); err != nil {
+		obs.Inc("reader_decode_errors_total", obs.L("stage", "deframe"))
 		return nil, stats, fmt.Errorf("reader: frame: %w", err)
 	}
 	return &out, stats, nil

@@ -6,12 +6,20 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/obs"
 )
+
+// ErrEventLimit reports that Engine.Run stopped because the runaway
+// guard tripped. Callers distinguish it from scheduling errors with
+// errors.Is.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
 
 // Event is a scheduled callback.
 type Event struct {
@@ -92,27 +100,37 @@ func (e *Engine) After(delay float64, priority int, fn func(now float64)) error 
 
 // Run executes events until the queue is empty or until virtual time
 // exceeds until (events at exactly until still run). Returns the number
-// of events executed.
+// of events executed. When the runaway guard trips, the returned error
+// wraps ErrEventLimit and exactly MaxEvents events have run. Running to
+// until = +Inf drains the queue and leaves the clock at the last event.
 func (e *Engine) Run(until float64) (int, error) {
 	limit := e.MaxEvents
 	if limit <= 0 {
 		limit = 10_000_000
 	}
+	span := obs.StartSpanAt("sim.run", e.now)
 	count := 0
+	defer func() {
+		obs.Add("sim_events_total", float64(count))
+		obs.Set("sim_queue_depth", float64(len(e.queue)))
+		span.SetAttr("events", fmt.Sprintf("%d", count))
+		span.EndAt(e.now)
+	}()
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.At > until {
 			break
 		}
+		if count >= limit {
+			obs.Inc("sim_event_limit_trips_total")
+			return count, fmt.Errorf("%w: %d events (runaway schedule?)", ErrEventLimit, limit)
+		}
 		heap.Pop(&e.queue)
 		e.now = next.At
 		next.Fn(e.now)
 		count++
-		if count > limit {
-			return count, fmt.Errorf("sim: event limit %d exceeded (runaway schedule?)", limit)
-		}
 	}
-	if e.now < until {
+	if e.now < until && !math.IsInf(until, 1) {
 		e.now = until
 	}
 	return count, nil
@@ -198,6 +216,7 @@ func (tr *Trace) Add(values ...float64) error {
 	row := make([]float64, len(values))
 	copy(row, values)
 	tr.rows = append(tr.rows, row)
+	obs.Inc("sim_trace_rows_total")
 	return nil
 }
 
@@ -217,22 +236,33 @@ func (tr *Trace) Column(name string) ([]float64, error) {
 	return out, nil
 }
 
-// Summary returns min/mean/max of a column.
+// Summary returns min/mean/max of a column. NaN samples (e.g. an
+// inestimable SNR) are skipped rather than poisoning the statistics; a
+// column with no finite samples is an error.
 func (tr *Trace) Summary(name string) (min, mean, max float64, err error) {
 	col, err := tr.Column(name)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if len(col) == 0 {
+	finite := col[:0:0]
+	for _, v := range col {
+		if !math.IsNaN(v) {
+			finite = append(finite, v)
+		}
+	}
+	if len(finite) == 0 {
+		if len(col) > 0 {
+			return 0, 0, 0, fmt.Errorf("sim: column %q has no non-NaN samples", name)
+		}
 		return 0, 0, 0, fmt.Errorf("sim: empty trace")
 	}
-	sorted := append([]float64{}, col...)
+	sorted := append([]float64{}, finite...)
 	sort.Float64s(sorted)
 	var sum float64
-	for _, v := range col {
+	for _, v := range finite {
 		sum += v
 	}
-	return sorted[0], sum / float64(len(col)), sorted[len(sorted)-1], nil
+	return sorted[0], sum / float64(len(finite)), sorted[len(sorted)-1], nil
 }
 
 // CSV renders the trace with a header row.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -120,11 +121,34 @@ func TestRunStopsAtHorizon(t *testing.T) {
 func TestRunawayGuard(t *testing.T) {
 	e := NewEngine()
 	e.MaxEvents = 100
+	executed := 0
 	var loop func(now float64)
-	loop = func(now float64) { _ = e.After(0.001, 0, loop) }
+	loop = func(now float64) {
+		executed++
+		_ = e.After(0.001, 0, loop)
+	}
 	_ = e.After(0, 0, loop)
-	if _, err := e.Run(1e9); err == nil {
-		t.Error("runaway schedule should trip the guard")
+	n, err := e.Run(1e9)
+	if err == nil {
+		t.Fatal("runaway schedule should trip the guard")
+	}
+	if !errors.Is(err, ErrEventLimit) {
+		t.Errorf("error %v should wrap ErrEventLimit", err)
+	}
+	// The guard must stop at the limit, not one past it.
+	if n != 100 || executed != 100 {
+		t.Errorf("ran %d events (callbacks: %d), limit is 100", n, executed)
+	}
+}
+
+func TestRunToInfinityDrainsQueue(t *testing.T) {
+	e := NewEngine()
+	_ = e.Schedule(2.5, 0, func(float64) {})
+	if _, err := e.Run(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("clock should rest at the last event, got %g", e.Now())
 	}
 }
 
@@ -215,5 +239,55 @@ func TestTraceEmptySummary(t *testing.T) {
 	tr := NewTrace("x")
 	if _, _, _, err := tr.Summary("x"); err == nil {
 		t.Error("empty summary should fail")
+	}
+}
+
+// Regression: a NaN sample (an inestimable SNR from RxStats.SNRdBEst)
+// must not poison the column statistics.
+func TestTraceSummarySkipsNaN(t *testing.T) {
+	tr := NewTrace("snr")
+	for _, v := range []float64{10, math.NaN(), 30, math.NaN(), 20} {
+		if err := tr.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, mean, max, err := tr.Summary("snr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 10 || mean != 20 || max != 30 {
+		t.Errorf("NaN leaked into summary: %g %g %g", min, mean, max)
+	}
+	allNaN := NewTrace("x")
+	_ = allNaN.Add(math.NaN())
+	if _, _, _, err := allNaN.Summary("x"); err == nil {
+		t.Error("all-NaN column should be an explicit error")
+	}
+}
+
+func TestTraceEdgeCases(t *testing.T) {
+	tr := NewTrace("t", "v")
+	// Column on an unknown name reports the available columns.
+	if _, err := tr.Column("ghost"); err == nil || !strings.Contains(err.Error(), "t,v") {
+		t.Errorf("unknown-column error should list columns, got %v", err)
+	}
+	// Add arity mismatches fail without mutating the trace.
+	if err := tr.Add(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := tr.Add(1, 2, 3); err == nil {
+		t.Error("long row should fail")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("rejected rows were stored: len = %d", tr.Len())
+	}
+	// CSV with zero rows is just the header.
+	if got := tr.CSV(); got != "t,v\n" {
+		t.Errorf("zero-row CSV = %q", got)
+	}
+	// Column on an empty trace returns an empty, non-nil-safe slice.
+	col, err := tr.Column("v")
+	if err != nil || len(col) != 0 {
+		t.Errorf("empty column: %v %v", col, err)
 	}
 }

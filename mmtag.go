@@ -28,6 +28,7 @@ import (
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/sim"
@@ -89,7 +90,39 @@ type (
 	TrackResult = core.TrackResult
 	// Trace accumulates named time-series columns and renders CSV.
 	Trace = sim.Trace
+	// Registry is the observability metric + span store; see Metrics.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of the Registry (JSON-able
+	// via its JSON method).
+	MetricsSnapshot = obs.Snapshot
+	// Span is one timed operation in the tracer (nil = disabled no-op).
+	Span = obs.Span
 )
+
+// Metrics returns the process-wide observability registry, enabling
+// collection on first call. Until then (and after DisableMetrics) every
+// instrumentation site in the simulation is a no-op.
+func Metrics() *Registry {
+	if r := obs.Active(); r != nil {
+		return r
+	}
+	return obs.Enable()
+}
+
+// MetricsEnabled reports whether observability collection is on.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// DisableMetrics turns observability collection back off; the previous
+// registry (and its data) is dropped.
+func DisableMetrics() { obs.Disable() }
+
+// Snapshot freezes the current metrics registry — every counter, gauge,
+// histogram series and finished span — enabling collection if needed.
+func Snapshot() MetricsSnapshot { return Metrics().Snapshot() }
+
+// MetricsText renders the current registry in the Prometheus text
+// exposition format, enabling collection if needed.
+func MetricsText() string { return Metrics().PrometheusText() }
 
 // NewTrace returns a trace with the given column names.
 func NewTrace(cols ...string) *Trace { return sim.NewTrace(cols...) }
