@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-gate vet fmt experiments figures clean
 
 all: build test
 
@@ -23,9 +23,22 @@ outputs:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Machine-readable instrumentation-overhead benchmarks (BENCH_1.json).
+# Machine-readable parallel-sweep benchmarks (BENCH_2.json). Override
+# BENCH_OUT to write elsewhere (the CI bench job generates a fresh file
+# and gates it against the committed baseline with tools/benchgate).
+BENCH_OUT ?= $(CURDIR)/BENCH_2.json
 bench-json:
-	MMTAG_BENCH_JSON=$(CURDIR)/BENCH_1.json $(GO) test -run 'TestWriteBenchJSON' -v .
+	MMTAG_BENCH2_JSON=$(BENCH_OUT) $(GO) test -run 'TestWriteBenchJSON2' -v .
+
+# Machine-readable instrumentation-overhead benchmarks (BENCH_1.json,
+# the PR-1 trajectory file).
+bench-json1:
+	MMTAG_BENCH_JSON=$(CURDIR)/BENCH_1.json $(GO) test -run 'TestWriteBenchJSON$$' -v .
+
+# Compare a fresh benchmark run against the committed baseline.
+bench-gate:
+	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_2.json -fresh /tmp/mmtag_bench_fresh.json
 
 vet:
 	$(GO) vet ./...

@@ -40,6 +40,8 @@
 //	               anything else = Prometheus text)
 //	-trace PATH    collect spans during the run and write the span trace
 //	               to PATH as JSON ("-" = stdout)
+//	-workers N     parallel workers for the sweep fan-outs (default
+//	               NumCPU); results are byte-identical for any N
 package main
 
 import (
@@ -47,10 +49,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/par"
 )
 
 func main() {
@@ -68,6 +72,7 @@ type options struct {
 	bits    int
 	metrics string
 	trace   string
+	workers int
 }
 
 func run(args []string) error {
@@ -80,6 +85,7 @@ func run(args []string) error {
 	fs.IntVar(&opt.bits, "bits", 200_000, "Monte-Carlo bits for the BER experiment")
 	fs.StringVar(&opt.metrics, "metrics", "", "write collected metrics to this path after the run (\"-\" = stdout; .json = JSON snapshot, else Prometheus text)")
 	fs.StringVar(&opt.trace, "trace", "", "write the collected span trace to this path as JSON (\"-\" = stdout)")
+	fs.IntVar(&opt.workers, "workers", runtime.NumCPU(), "parallel workers for sweep fan-outs (results are identical for any count)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all> [flags]")
 		fs.PrintDefaults()
@@ -92,6 +98,7 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	par.SetWorkers(opt.workers)
 	var reg *obs.Registry
 	if opt.metrics != "" || opt.trace != "" {
 		reg = obs.Enable()

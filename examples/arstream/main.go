@@ -12,14 +12,19 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 
 	"github.com/mmtag/mmtag"
 )
 
 func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	flag.Parse()
+	mmtag.SetWorkers(*workers)
 	cb, err := mmtag.NewCodebook(-math.Pi/2, math.Pi/2, 24)
 	if err != nil {
 		log.Fatal(err)

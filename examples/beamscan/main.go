@@ -10,15 +10,20 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 
 	"github.com/mmtag/mmtag"
 	"github.com/mmtag/mmtag/internal/vanatta"
 )
 
 func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	flag.Parse()
+	mmtag.SetWorkers(*workers)
 	// Hide the tag at 31° off the reader's boresight, 5 ft away.
 	const tagAngle = 31 * math.Pi / 180
 	pos := mmtag.Vec{X: mmtag.Feet(5) * math.Cos(tagAngle), Y: mmtag.Feet(5) * math.Sin(tagAngle)}

@@ -11,14 +11,20 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 
 	"github.com/mmtag/mmtag"
 )
 
 func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	flag.Parse()
+	mmtag.SetWorkers(*workers)
+
 	src := mmtag.NewSource(99)
 	// Ten tags: a dense cluster near 20° (they will share a beam and
 	// need Aloha) plus scattered singles.

@@ -10,13 +10,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"github.com/mmtag/mmtag"
 )
 
 func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	flag.Parse()
+	mmtag.SetWorkers(*workers)
 	link, err := mmtag.NewLink(mmtag.Feet(4))
 	if err != nil {
 		log.Fatal(err)

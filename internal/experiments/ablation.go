@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -38,10 +39,14 @@ func ArraySizeAblation(counts []int) (ArraySizeResult, error) {
 		counts = []int{2, 4, 6, 8, 12, 16}
 	}
 	var res ArraySizeResult
-	for _, n := range counts {
+	// Each element count is an independent deterministic computation (no
+	// randomness), so the sweep fans out across the worker pool with one
+	// output slot per count.
+	points, err := par.MapErr(len(counts), func(ci int) (ArraySizePoint, error) {
+		n := counts[ci]
 		va, err := vanatta.New(n, 24e9)
 		if err != nil {
-			return res, err
+			return ArraySizePoint{}, err
 		}
 		pt := ArraySizePoint{
 			Elements:     n,
@@ -61,12 +66,12 @@ func ArraySizeAblation(counts []int) (ArraySizeResult, error) {
 		}
 		b4, err := mk(units.FeetToMeters(4))
 		if err != nil {
-			return res, err
+			return ArraySizePoint{}, err
 		}
 		pt.ReceivedDBmAt4ft = b4.ReceivedDBm
 		b10, err := mk(units.FeetToMeters(10))
 		if err != nil {
-			return res, err
+			return ArraySizePoint{}, err
 		}
 		pt.RateAt10ft = b10.RateBps
 		// Bisect for the 1 Gb/s range.
@@ -75,7 +80,7 @@ func ArraySizeAblation(counts []int) (ArraySizeResult, error) {
 			mid := (lo + hi) / 2
 			b, err := mk(units.FeetToMeters(mid))
 			if err != nil {
-				return res, err
+				return ArraySizePoint{}, err
 			}
 			if b.RateBps >= 1e9 {
 				lo = mid
@@ -84,8 +89,12 @@ func ArraySizeAblation(counts []int) (ArraySizeResult, error) {
 			}
 		}
 		pt.GbpsRangeFt = lo
-		res.Points = append(res.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = points
 	return res, nil
 }
 
@@ -149,18 +158,31 @@ func ImpairmentAblation(sigmasDeg []float64, trials int, seed uint64) (Impairmen
 	ref := clean.RetroGainDBi(theta, f)
 	res := ImpairmentResult{DepthCleanDB: clean.ModulationDepthDB(0, f)}
 	for _, sg := range sigmasDeg {
-		var loss float64
-		for tr := 0; tr < trials; tr++ {
-			dirty, err := vanatta.New(6, f)
-			if err != nil {
-				return res, err
-			}
+		// Draw every trial's phase errors sequentially first — the exact
+		// order (and Gaussian spare-caching) of the old loop — then fan
+		// the expensive retro-gain evaluations out across workers.
+		draws := make([][]float64, trials)
+		for tr := range draws {
 			errs := make([]float64, 6)
 			for i := range errs {
 				errs[i] = src.NormScaled(0, sg*math.Pi/180)
 			}
-			dirty.PhaseErrorRad = errs
-			loss += ref - dirty.RetroGainDBi(theta, f)
+			draws[tr] = errs
+		}
+		losses, err := par.MapErr(trials, func(tr int) (float64, error) {
+			dirty, err := vanatta.New(6, f)
+			if err != nil {
+				return 0, err
+			}
+			dirty.PhaseErrorRad = draws[tr]
+			return ref - dirty.RetroGainDBi(theta, f), nil
+		})
+		if err != nil {
+			return res, err
+		}
+		var loss float64
+		for _, l := range losses {
+			loss += l
 		}
 		res.Points = append(res.Points, ImpairmentPoint{
 			PhaseErrSigmaDeg: sg,

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 )
 
@@ -39,20 +40,44 @@ func AntiCollision(populations []int, trials int, seed uint64) (AntiColResult, e
 	src := rng.New(seed)
 	res := AntiColResult{Trials: trials}
 	for _, n := range populations {
+		// Pre-split the per-trial streams sequentially, in the exact order
+		// the old single-goroutine loop drew them (Aloha then query tree,
+		// trial by trial), so the fan-out below is byte-identical to the
+		// sequential reference for any worker count.
+		srcs := make([]*rng.Source, 2*trials)
+		for i := range srcs {
+			srcs[i] = src.Split()
+		}
+		type trialOut struct {
+			aSlots, aEff, qQueries, qEff float64
+		}
+		outs := make([]trialOut, trials)
+		err := par.ForEachErr(trials, func(tr int) error {
+			a, err := mac.RunAloha(n, mac.DefaultAlohaConfig(), srcs[2*tr])
+			if err != nil {
+				return err
+			}
+			q, err := mac.RunQueryTree(n, 32, srcs[2*tr+1])
+			if err != nil {
+				return err
+			}
+			outs[tr] = trialOut{
+				aSlots:   float64(a.TotalSlots),
+				aEff:     a.Efficiency(),
+				qQueries: float64(q.Queries),
+				qEff:     q.Efficiency(),
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
 		var aSlots, aEff, qQueries, qEff float64
-		for tr := 0; tr < trials; tr++ {
-			a, err := mac.RunAloha(n, mac.DefaultAlohaConfig(), src.Split())
-			if err != nil {
-				return res, err
-			}
-			q, err := mac.RunQueryTree(n, 32, src.Split())
-			if err != nil {
-				return res, err
-			}
-			aSlots += float64(a.TotalSlots)
-			aEff += a.Efficiency()
-			qQueries += float64(q.Queries)
-			qEff += q.Efficiency()
+		for _, o := range outs {
+			aSlots += o.aSlots
+			aEff += o.aEff
+			qQueries += o.qQueries
+			qEff += o.qEff
 		}
 		ft := float64(trials)
 		res.Points = append(res.Points, AntiColPoint{

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -43,21 +44,26 @@ func ARQGoodput(nFrames int, seed uint64) (ARQResult, error) {
 	}
 	res := ARQResult{Frames: nFrames}
 	cfg := mac.DefaultARQConfig()
-	for _, ft := range []float64{3, 4, 4.5, 5, 5.5, 6, 7} {
+	ranges := []float64{3, 4, 4.5, 5, 5.5, 6, 7}
+	// Every range point builds its own link and seeds its own generator
+	// (rng.New(seed), as the sequential loop did per point), so the sweep
+	// is embarrassingly parallel and trivially worker-count invariant.
+	points, err := par.MapErr(len(ranges), func(i int) (ARQPoint, error) {
+		ft := ranges[i]
 		l, err := core.NewDefaultLink(units.FeetToMeters(ft))
 		if err != nil {
-			return res, err
+			return ARQPoint{}, err
 		}
 		bw := l.Reader.Bandwidths[0] // 2 GHz
 		b, err := l.ComputeBudget()
 		if err != nil {
-			return res, err
+			return ARQPoint{}, err
 		}
 		r, err := mac.RunARQ(l, bw, nFrames, cfg, rng.New(seed))
 		if err != nil {
-			return res, err
+			return ARQPoint{}, err
 		}
-		res.Points = append(res.Points, ARQPoint{
+		return ARQPoint{
 			RangeFt:         ft,
 			Bandwidth:       bw.Label,
 			BudgetSNRdB:     b.SNRdB[bw.Label],
@@ -65,8 +71,12 @@ func ARQGoodput(nFrames int, seed uint64) (ARQResult, error) {
 			Retransmissions: r.Retransmissions,
 			Residual:        r.ResidualErrors,
 			GoodputBps:      r.GoodputBps,
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = points
 	return res, nil
 }
 

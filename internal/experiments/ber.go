@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
@@ -35,19 +36,32 @@ func BERValidation(nBits int, seed uint64) (BERResult, error) {
 	}
 	src := rng.New(seed)
 	res := BERResult{PaperThresholdDB: units.ASKRequiredSNRdB}
+	var snrs []float64
 	for snr := 2.0; snr <= 14; snr += 1 {
-		mc, err := phy.MonteCarloBER(phy.OOK{}, snr, nBits, src)
+		snrs = append(snrs, snr)
+	}
+	// One keyed sub-stream per SNR point: each Monte-Carlo run (itself
+	// sharded inside MonteCarloBER) is independent of every other point,
+	// so the whole waterfall fans out worker-count-invariantly.
+	seq := src.SplitSeq()
+	points, err := par.MapErr(len(snrs), func(i int) (BERPoint, error) {
+		snr := snrs[i]
+		mc, err := phy.MonteCarloBER(phy.OOK{}, snr, nBits, seq.At(uint64(i)))
 		if err != nil {
-			return res, err
+			return BERPoint{}, err
 		}
 		lin := math.Pow(10, snr/10)
-		res.Points = append(res.Points, BERPoint{
+		return BERPoint{
 			SNRdB:       snr,
 			MonteCarlo:  mc,
 			Analytic:    phy.BEROOKEnvelope(lin),
 			AnalyticCoh: phy.BEROOKIdeal(lin),
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = points
 	// Bisect the analytic envelope curve for the 1e-3 crossing.
 	lo, hi := 0.0, 20.0
 	for i := 0; i < 60; i++ {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/par"
+)
+
+// renderAll regenerates every parallelized experiment at the current
+// worker count and concatenates the rendered tables, so a single string
+// compare covers the whole fan-out surface.
+func renderAll(t *testing.T) string {
+	t.Helper()
+	var out string
+	ber, err := BERValidation(40_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += ber.Table().Render()
+	ac, err := AntiCollision([]int{4, 16}, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += ac.Table().Render()
+	mt, err := MultiTag([]int{1, 4, 8}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += mt.Table().Render()
+	arq, err := ARQGoodput(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += arq.Table().Render()
+	ra, err := RateAdaptation(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += ra.Table().Render()
+	imp, err := ImpairmentAblation([]float64{0, 20, 60}, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += imp.Table().Render()
+	as, err := ArraySizeAblation([]int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += as.Table().Render()
+	rt, err := Retrodirectivity(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += rt.Table().Render()
+	return out
+}
+
+// TestExperimentsWorkerCountInvariance is the repo's determinism
+// contract: every experiment's rendered output must be byte-identical
+// whether the sweeps run on one goroutine (the reference stream) or on
+// any other worker count. The CI determinism job enforces the same
+// property end to end through cmd/mmtag.
+func TestExperimentsWorkerCountInvariance(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	ref := renderAll(t)
+	for _, w := range []int{2, 4, runtime.NumCPU() + 3} {
+		par.SetWorkers(w)
+		if got := renderAll(t); got != ref {
+			t.Fatalf("workers=%d output diverged from the workers=1 reference stream", w)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -38,8 +39,18 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 	}
 	src := rng.New(seed)
 	var res MultiTagResult
-	for _, k := range populations {
-		placeSrc := src.Split()
+	// Pre-split the three per-population streams in the order the old
+	// sequential loop drew them (placement, SDM, 4-beam SDM per
+	// population), then run the populations on the worker pool: each
+	// builds its own network, so the only shared state was the parent rng.
+	type popSrc struct{ place, sdm, sdm4 *rng.Source }
+	srcs := make([]popSrc, len(populations))
+	for i := range srcs {
+		srcs[i] = popSrc{place: src.Split(), sdm: src.Split(), sdm4: src.Split()}
+	}
+	points, err := par.MapErr(len(populations), func(pi int) (MultiTagPoint, error) {
+		k := populations[pi]
+		placeSrc := srcs[pi].place
 		tags := make([]*tag.Tag, 0, k)
 		for i := 0; i < k; i++ {
 			theta := (placeSrc.Float64()*2 - 1) * math.Pi / 3
@@ -47,7 +58,7 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 			pos := geom.FromPolar(r, theta)
 			tg, err := tag.New(uint16(i+1), geom.Pose{Pos: pos, Heading: geom.WrapAngle(theta + math.Pi)})
 			if err != nil {
-				return res, err
+				return MultiTagPoint{}, err
 			}
 			tags = append(tags, tg)
 		}
@@ -55,22 +66,21 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 		// The default reader horn has ≈18° beams: 8 beams tile ±60°.
 		cb, err := antenna.UniformCodebook(-math.Pi/3, math.Pi/3, 8)
 		if err != nil {
-			return res, err
+			return MultiTagPoint{}, err
 		}
 		readings, err := n.Scan(cb)
 		if err != nil {
-			return res, err
+			return MultiTagPoint{}, err
 		}
-		macSrc := src.Split()
-		sdm, err := mac.ScheduleSDM(readings, mac.DefaultSDMConfig(), macSrc)
+		sdm, err := mac.ScheduleSDM(readings, mac.DefaultSDMConfig(), srcs[pi].sdm)
 		if err != nil {
-			return res, err
+			return MultiTagPoint{}, err
 		}
 		cfg4 := mac.DefaultSDMConfig()
 		cfg4.Beams = 4
-		sdm4, err := mac.ScheduleSDM(readings, cfg4, src.Split())
+		sdm4, err := mac.ScheduleSDM(readings, cfg4, srcs[pi].sdm4)
 		if err != nil {
-			return res, err
+			return MultiTagPoint{}, err
 		}
 		pt := MultiTagPoint{
 			Tags:           k,
@@ -83,8 +93,12 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 		if len(sdm.Shares) > 0 {
 			pt.PerTagMeanBps = sdm.AggregateBps / float64(len(sdm.Shares))
 		}
-		res.Points = append(res.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = points
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -72,16 +73,18 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 	if err != nil {
 		return res, err
 	}
-	prevWasASK := false
-	for i := 0; i < n; i++ {
+	// The per-range link budgets are independent pure computations: fan
+	// them out, then derive the order-dependent summary fields (peak,
+	// 4-ASK crossover) in a sequential scan over the ordered points.
+	points, err := par.MapErr(n, func(i int) (RateAdaptPoint, error) {
 		ft := 2 + 10*float64(i)/float64(n-1)
 		l, err := core.NewDefaultLink(units.FeetToMeters(ft))
 		if err != nil {
-			return res, err
+			return RateAdaptPoint{}, err
 		}
 		b, err := l.ComputeBudget()
 		if err != nil {
-			return res, err
+			return RateAdaptPoint{}, err
 		}
 		pt := RateAdaptPoint{RangeFt: ft, ReceivedDBm: b.ReceivedDBm, OOKRateBps: b.RateBps, Scheme: "-", Bandwidth: "-"}
 		best := 0.0
@@ -97,16 +100,23 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 			}
 		}
 		pt.AdaptedRateBps = best
-		if best > res.PeakRateBps {
-			res.PeakRateBps = best
+		return pt, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	prevWasASK := false
+	for _, pt := range points {
+		if pt.AdaptedRateBps > res.PeakRateBps {
+			res.PeakRateBps = pt.AdaptedRateBps
 		}
 		if pt.Scheme == "4-ASK" {
 			prevWasASK = true
 		} else if prevWasASK && res.CrossoverFt == 0 {
-			res.CrossoverFt = ft
+			res.CrossoverFt = pt.RangeFt
 		}
-		res.Points = append(res.Points, pt)
 	}
+	res.Points = points
 	return res, nil
 }
 

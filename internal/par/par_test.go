@@ -1,0 +1,202 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/rng"
+)
+
+// shardWork simulates a Monte-Carlo shard: a few hundred draws from an
+// index-keyed sub-stream folded into one value. Any scheduling
+// dependence would show up as a differing fold.
+func shardWork(seq rng.Sequence, i int) float64 {
+	src := seq.At(uint64(i))
+	var acc float64
+	for k := 0; k < 257; k++ {
+		acc += src.Norm()
+	}
+	return acc
+}
+
+func TestDoWorkerCountInvariance(t *testing.T) {
+	const n = 41
+	seq := rng.NewSequence(7)
+	ref := make([]float64, n)
+	Do(1, n, func(i int) { ref[i] = shardWork(seq, i) })
+	// Worker counts the issue calls out: 1, 2, NumCPU, and more workers
+	// than items.
+	for _, w := range []int{1, 2, runtime.NumCPU(), n + 9} {
+		got := make([]float64, n)
+		Do(w, n, func(i int) { got[i] = shardWork(seq, i) })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: shard %d = %v, want %v (reference stream)", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapNMatchesSequential(t *testing.T) {
+	const n = 17
+	want := MapN(1, n, func(i int) int { return i * i })
+	got := MapN(5, n, func(i int) int { return i * i })
+	if len(got) != n {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] || got[i] != i*i {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], i*i)
+		}
+	}
+}
+
+func TestZeroAndNegativeItems(t *testing.T) {
+	calls := 0
+	Do(4, 0, func(int) { calls++ })
+	Do(4, -3, func(int) { calls++ })
+	if err := DoErr(4, 0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if out := MapN(4, 0, func(i int) int { calls++; return i }); out != nil {
+		t.Fatalf("MapN on zero items returned %v", out)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times on empty input", calls)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+				if s, ok := v.(string); !ok || s != "boom-3" {
+					t.Fatalf("workers=%d: recovered %v, want boom-3", w, v)
+				}
+			}()
+			Do(w, 8, func(i int) {
+				if i == 3 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+			})
+		}()
+	}
+}
+
+func TestLowestPanicIndexWins(t *testing.T) {
+	// Indexes 2 and 9 both panic; the pool must re-raise index 2's value
+	// for every worker count, like the sequential loop would.
+	for _, w := range []int{1, 2, 6} {
+		func() {
+			defer func() {
+				if v := recover(); v != "boom-2" {
+					t.Fatalf("workers=%d: recovered %v, want boom-2", w, v)
+				}
+			}()
+			Do(w, 12, func(i int) {
+				if i == 2 || i == 9 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+			})
+		}()
+	}
+}
+
+func TestErrLowestIndexWins(t *testing.T) {
+	errA := errors.New("fail-5")
+	errB := errors.New("fail-11")
+	for _, w := range []int{1, 2, 4, 16} {
+		err := DoErr(w, 20, func(i int) error {
+			switch i {
+			case 5:
+				return errA
+			case 11:
+				return errB
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", w, err, errA)
+		}
+	}
+}
+
+func TestErrStopsSchedulingNewShards(t *testing.T) {
+	var ran atomic.Int64
+	err := DoErr(2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("all shards ran despite an index-0 failure")
+	}
+}
+
+func TestMapErrDiscardsResultsOnFailure(t *testing.T) {
+	out, err := MapErrN(3, 9, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d after reset, want NumCPU %d", Workers(), runtime.NumCPU())
+	}
+}
+
+// TestRaceStressWithObs hammers the pool with the observability registry
+// enabled so `go test -race` exercises the shared registry, the queue
+// gauge and the shard histogram from many goroutines at once.
+func TestRaceStressWithObs(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	seq := rng.NewSequence(99)
+	for round := 0; round < 8; round++ {
+		const n = 64
+		out := make([]float64, n)
+		Do(8, n, func(i int) {
+			obs.Inc("par_test_shards_total", obs.L("round", fmt.Sprint(round%2)))
+			out[i] = shardWork(seq, i)
+		})
+		ref := make([]float64, n)
+		Do(1, n, func(i int) { ref[i] = shardWork(seq, i) })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("round %d shard %d diverged under load", round, i)
+			}
+		}
+	}
+}
+
+func BenchmarkDoOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Do(4, 16, func(int) {})
+	}
+}

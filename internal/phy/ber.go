@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -111,9 +112,21 @@ func BERASK(m int, snr float64) (float64, error) {
 	return pSym / k, nil
 }
 
+// mcChunkBits is the Monte-Carlo shard size in bits. It is a fixed
+// constant — never derived from the worker count — so the shard
+// boundaries, and with them every shard's rng.Sequence sub-stream, are
+// identical no matter how many workers execute them.
+const mcChunkBits = 1 << 13
+
 // MonteCarloBER measures the bit-error rate of a modulation over an AWGN
 // channel at the given average SNR (dB) by direct simulation of nBits
 // bits, using symbol-level transmission (matched filter output domain).
+//
+// The simulation is sharded into fixed-size bit batches executed on the
+// par worker pool. Each shard draws bits and noise from its own
+// index-keyed sub-stream (src.SplitSeq().At(shard)), so the measured BER
+// is byte-identical for any worker count; src itself advances by exactly
+// one draw per call.
 func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (float64, error) {
 	if nBits <= 0 {
 		return 0, fmt.Errorf("phy: need a positive bit count")
@@ -123,28 +136,72 @@ func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (f
 	if nBits == 0 {
 		nBits = k
 	}
-	bits := src.Bits(make([]byte, nBits))
-	syms, err := mod.Modulate(nil, bits)
+	chunk := mcChunkBits - mcChunkBits%k
+	if chunk == 0 {
+		chunk = k
+	}
+	nChunks := (nBits + chunk - 1) / chunk
+	seq := src.SplitSeq()
+	type shard struct {
+		src   *rng.Source
+		bits  []byte
+		syms  []complex128
+		power float64 // sum of |s|² over the shard's symbols
+		errs  int
+	}
+	shards := make([]shard, nChunks)
+	// Pass 1: per shard, draw bits and modulate; accumulate constellation
+	// power locally so the global average can be formed exactly as the
+	// sequential code did (sum over all symbols / count).
+	err := par.ForEachErr(nChunks, func(i int) error {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > nBits {
+			hi = nBits
+		}
+		sh := &shards[i]
+		sh.src = seq.At(uint64(i))
+		sh.bits = sh.src.Bits(make([]byte, hi-lo))
+		syms, err := mod.Modulate(nil, sh.bits)
+		if err != nil {
+			return err
+		}
+		sh.syms = syms
+		for _, s := range syms {
+			sh.power += real(s)*real(s) + imag(s)*imag(s)
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
 	// Scale noise for the requested average SNR given the constellation's
-	// actual average power.
+	// actual average power across every shard.
 	var p float64
-	for _, s := range syms {
-		p += real(s)*real(s) + imag(s)*imag(s)
+	nSyms := 0
+	for i := range shards {
+		p += shards[i].power
+		nSyms += len(shards[i].syms)
 	}
-	p /= float64(len(syms))
+	p /= float64(nSyms)
 	noisePower := p / math.Pow(10, snrDB/10)
-	src.AWGN(syms, noisePower)
-	got := mod.Demodulate(make([]byte, 0, nBits), syms)
-	errs := 0
-	for i := range bits {
-		if got[i] != bits[i] {
-			errs++
+	// Pass 2: per shard, add AWGN from the shard's own stream (continued
+	// past the bit draws), demodulate and count errors.
+	par.ForEach(nChunks, func(i int) {
+		sh := &shards[i]
+		sh.src.AWGN(sh.syms, noisePower)
+		got := mod.Demodulate(make([]byte, 0, len(sh.bits)), sh.syms)
+		for j := range sh.bits {
+			if got[j] != sh.bits[j] {
+				sh.errs++
+			}
 		}
+	})
+	errs := 0
+	for i := range shards {
+		errs += shards[i].errs
 	}
-	return float64(errs) / float64(len(bits)), nil
+	return float64(errs) / float64(nBits), nil
 }
 
 // WaterfallPoint is one (SNR, BER) sample of a waterfall curve.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -125,6 +126,38 @@ func TestMonteCarloErrors(t *testing.T) {
 	src := rng.New(1)
 	if _, err := MonteCarloBER(OOK{}, 5, 0, src); err == nil {
 		t.Error("zero bits should fail")
+	}
+}
+
+// TestMonteCarloWorkerCountInvariance pins the sharding contract: the
+// measured BER (and the parent stream's advancement) must be
+// byte-identical for any worker count, including bit counts that do not
+// fill a whole shard and ones that leave a ragged final shard.
+func TestMonteCarloWorkerCountInvariance(t *testing.T) {
+	for _, nBits := range []int{100, 1 << 13, 1<<15 + 37} {
+		refSrc := rng.New(5)
+		prev := par.SetWorkers(1)
+		ref, err := MonteCarloBER(OOK{}, 9, nBits, refSrc)
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refNext := refSrc.Uint64()
+		for _, w := range []int{2, 4, 11} {
+			src := rng.New(5)
+			par.SetWorkers(w)
+			got, err := MonteCarloBER(OOK{}, 9, nBits, src)
+			par.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("nBits=%d workers=%d: BER %v, want %v", nBits, w, got, ref)
+			}
+			if src.Uint64() != refNext {
+				t.Fatalf("nBits=%d workers=%d: parent stream advanced differently", nBits, w)
+			}
+		}
 	}
 }
 

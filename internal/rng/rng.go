@@ -68,6 +68,40 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd3833e804f4c574b)
 }
 
+// Sequence is a deterministic family of sub-streams keyed by index: the
+// splitting contract parallel shards need. At(i) depends only on the
+// Sequence and i — not on how many times or in what order At has been
+// called — so shards can be claimed by any number of workers in any
+// order and still draw identical randomness.
+type Sequence struct {
+	base uint64
+}
+
+// SplitSeq consumes exactly one draw from the parent and returns the
+// derived Sequence. Two SplitSeq calls on the same parent yield
+// unrelated families; the parent advances by one Uint64 regardless of
+// how many sub-streams are later materialized.
+func (s *Source) SplitSeq() Sequence {
+	return Sequence{base: s.Uint64() ^ 0x9fb21c651e98df25}
+}
+
+// NewSequence builds a Sequence directly from a seed, for call sites
+// that have no parent stream.
+func NewSequence(seed uint64) Sequence {
+	var x = seed
+	return Sequence{base: splitMix64(&x) ^ 0x9fb21c651e98df25}
+}
+
+// At returns sub-stream i of the family. Calls are idempotent and
+// order-independent: At(i) always returns a generator in the same
+// state, and distinct indices give statistically independent streams.
+func (q Sequence) At(i uint64) *Source {
+	// Mix the index through SplitMix64 before handing it to New (which
+	// SplitMix64-expands again) so consecutive indices land far apart.
+	x := q.base + (i+1)*0x9e3779b97f4a7c15
+	return New(splitMix64(&x))
+}
+
 // Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/antenna"
 	"github.com/mmtag/mmtag/internal/circuit"
+	"github.com/mmtag/mmtag/internal/par"
 )
 
 // FixedBeamTag is the baseline the paper contrasts mmTag against (§3,
@@ -73,6 +74,10 @@ func (t *FixedBeamTag) RetroGainDBi(theta, f float64) float64 {
 // AngleSweep compares monostatic power (dB, normalized to the Van Atta
 // boresight) across incidence angles for both tag types — the data behind
 // the paper's mobility argument (§3, §4).
+//
+// The per-angle responses are pure reads of the two tag models, so the
+// sweep fans out across the par worker pool; each angle writes only its
+// own output slot, keeping results identical for any worker count.
 func AngleSweep(va *Array, fb *FixedBeamTag, f float64, thetas []float64) (vaDB, fbDB []float64) {
 	vaDB = make([]float64, len(thetas))
 	fbDB = make([]float64, len(thetas))
@@ -80,12 +85,13 @@ func AngleSweep(va *Array, fb *FixedBeamTag, f float64, thetas []float64) (vaDB,
 	if ref == 0 {
 		ref = 1
 	}
-	for i, th := range thetas {
+	par.ForEach(len(thetas), func(i int) {
+		th := thetas[i]
 		v := cmplx.Abs(va.MonostaticResponse(th, f))
 		b := cmplx.Abs(fb.MonostaticResponse(th, f))
 		vaDB[i] = ratioDB(v, ref)
 		fbDB[i] = ratioDB(b, ref)
-	}
+	})
 	return vaDB, fbDB
 }
 

@@ -29,6 +29,7 @@ import (
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/sim"
@@ -153,6 +154,17 @@ func NewVanAtta(n int, freqHz float64) (*VanAttaArray, error) { return vanatta.N
 // NewSource returns a deterministic randomness source for reproducible
 // simulations.
 func NewSource(seed uint64) *Source { return rng.New(seed) }
+
+// SetWorkers sets the worker count every parallel sweep in the library
+// uses (Monte-Carlo BER shards, experiment trial fan-outs, angle
+// sweeps) and returns the previous value. The default is
+// runtime.NumCPU(); n <= 0 restores that default. Results are
+// byte-identical for every worker count — parallelism only changes
+// wall-clock time, never outputs.
+func SetWorkers(n int) int { return par.SetWorkers(n) }
+
+// Workers reports the current parallel worker count.
+func Workers() int { return par.Workers() }
 
 // NewCodebook returns n scan beams uniformly covering [minRad, maxRad].
 func NewCodebook(minRad, maxRad float64, n int) (Codebook, error) {

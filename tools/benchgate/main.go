@@ -1,0 +1,147 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// freshly generated BENCH_2.json against the committed baseline and
+// fails (exit 1) when a tracked benchmark regresses beyond the
+// tolerance, or when the parallel Monte-Carlo speedup the PR promises
+// is missing on a machine with enough cores to show it.
+//
+// Cross-machine noise: raw ns/op is meaningless between a laptop and a
+// CI runner, so when both files carry the single-threaded
+// calibration_ook_modem record the gate rescales the baseline by the
+// calibration ratio before comparing. On the same machine the ratio is
+// ≈1 and the gate degrades to a plain comparison.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_2.json -fresh fresh.json [-tolerance 0.20]
+//	          [-require-speedup 2.0] [-speedup-min-cpus 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type benchFile struct {
+	Schema       string   `json:"schema"`
+	NumCPU       int      `json:"num_cpu"`
+	Benchmarks   []record `json:"benchmarks"`
+	MCSpeedup4W  float64  `json:"mc_ber_speedup_workers_4"`
+	MCSpeedupMax float64  `json:"mc_ber_speedup_workers_max"`
+}
+
+// calibrationName is the pure single-thread benchmark both files must
+// share for machine-speed normalization.
+const calibrationName = "calibration_ook_modem"
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "mmtag-bench/2" {
+		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/2", path, f.Schema)
+	}
+	return f, nil
+}
+
+func (f benchFile) lookup(name string) (record, bool) {
+	for _, r := range f.Benchmarks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return record{}, false
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_2.json", "committed baseline benchmark file")
+	freshPath := flag.String("fresh", "", "freshly generated benchmark file to gate")
+	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed fractional ns/op regression per benchmark")
+	requireSpeedup := flag.Float64("require-speedup", 2.0, "minimum Monte-Carlo speedup at 4+ workers")
+	speedupMinCPUs := flag.Int("speedup-min-cpus", 4, "only assert the speedup when the fresh run had at least this many CPUs")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	// Machine-speed normalization via the shared calibration benchmark.
+	scale := 1.0
+	bc, okB := base.lookup(calibrationName)
+	fc, okF := fresh.lookup(calibrationName)
+	if okB && okF && bc.NsPerOp > 0 {
+		scale = fc.NsPerOp / bc.NsPerOp
+		fmt.Printf("calibration: baseline %.0f ns/op, fresh %.0f ns/op → machine scale %.3f\n",
+			bc.NsPerOp, fc.NsPerOp, scale)
+	} else {
+		fmt.Println("calibration benchmark missing from one file; comparing raw ns/op")
+	}
+
+	failed := false
+	fmt.Printf("%-34s %14s %14s %9s\n", "benchmark", "baseline(ns)", "fresh(ns)", "delta")
+	for _, b := range base.Benchmarks {
+		if b.Name == calibrationName || b.NsPerOp <= 0 {
+			continue
+		}
+		f, ok := fresh.lookup(b.Name)
+		if !ok {
+			fmt.Printf("%-34s %14.0f %14s %9s  FAIL (missing from fresh run)\n", b.Name, b.NsPerOp, "-", "-")
+			failed = true
+			continue
+		}
+		allowed := b.NsPerOp * scale
+		delta := f.NsPerOp/allowed - 1
+		verdict := "ok"
+		if delta > *tolerance {
+			verdict = fmt.Sprintf("FAIL (> %.0f%% regression)", *tolerance*100)
+			failed = true
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%%  %s\n", b.Name, allowed, f.NsPerOp, delta*100, verdict)
+	}
+
+	// The parallel payoff the PR exists for: ≥2× Monte-Carlo speedup at
+	// 4+ workers, asserted only where the hardware can express it.
+	if fresh.NumCPU >= *speedupMinCPUs {
+		best := fresh.MCSpeedup4W
+		if fresh.MCSpeedupMax > best {
+			best = fresh.MCSpeedupMax
+		}
+		if best < *requireSpeedup {
+			fmt.Printf("speedup: best Monte-Carlo speedup %.2fx on %d CPUs — FAIL (need ≥ %.1fx)\n",
+				best, fresh.NumCPU, *requireSpeedup)
+			failed = true
+		} else {
+			fmt.Printf("speedup: best Monte-Carlo speedup %.2fx on %d CPUs — ok\n", best, fresh.NumCPU)
+		}
+	} else {
+		fmt.Printf("speedup: fresh run had %d CPU(s) < %d; speedup assertion skipped\n",
+			fresh.NumCPU, *speedupMinCPUs)
+	}
+
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
