@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-gate vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-gate bench-gate3 vet fmt experiments figures clean
 
 all: build test
 
@@ -35,10 +35,20 @@ bench-json:
 bench-json1:
 	MMTAG_BENCH_JSON=$(CURDIR)/BENCH_1.json $(GO) test -run 'TestWriteBenchJSON$$' -v .
 
+# Machine-readable event-log overhead benchmarks (BENCH_3.json).
+BENCH3_OUT ?= $(CURDIR)/BENCH_3.json
+bench-json3:
+	MMTAG_BENCH3_JSON=$(BENCH3_OUT) $(GO) test -run 'TestWriteBenchJSON3' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
 	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_2.json -fresh /tmp/mmtag_bench_fresh.json
+
+# Same gate for the event-log overhead file (no speedup claim).
+bench-gate3:
+	$(MAKE) bench-json3 BENCH3_OUT=/tmp/mmtag_bench3_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_3.json -fresh /tmp/mmtag_bench3_fresh.json -require-speedup 0
 
 vet:
 	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"github.com/mmtag/mmtag"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -164,6 +165,7 @@ func BenchmarkImpairmentAblation(b *testing.B) {
 // observability off (the Nop fast path).
 func BenchmarkWaveformBurst(b *testing.B) {
 	obs.Disable()
+	event.Disable()
 	benchBurst(b)
 }
 
@@ -474,6 +476,131 @@ func TestWriteBenchJSON2(t *testing.T) {
 		MCSpeedup4W:   ratio(w1, byName("monte_carlo_ber_workers_4")),
 		MCSpeedupMax:  ratio(w1, byName("monte_carlo_ber_workers_max")),
 		SweepSpeedup4: ratio(byName("angle_sweep_workers_1"), byName("angle_sweep_workers_4")),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEventEmitDisabled measures one instrumented event site with
+// no log installed — the idiom every hot path uses (`event.Enabled()`
+// guard before building the field slice), so this is the cost paid per
+// site when the event log is off: an atomic load and a branch.
+func BenchmarkEventEmitDisabled(b *testing.B) {
+	event.Disable()
+	for i := 0; i < b.N; i++ {
+		if event.Enabled() {
+			event.Emit(0, event.LevelInfo, "bench", "emit", event.D("i", i))
+		}
+	}
+}
+
+// BenchmarkEventEmitEnabled measures one live event emission into the
+// ring (encode to JSON bytes + ring store), fields included.
+func BenchmarkEventEmitEnabled(b *testing.B) {
+	event.EnableWith(event.New(1 << 12))
+	defer event.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if event.Enabled() {
+			event.Emit(float64(i), event.LevelInfo, "bench", "emit", event.D("i", i))
+		}
+	}
+}
+
+// BenchmarkWaveformBurstEventsEnabled is BenchmarkWaveformBurst with
+// the event log installed (metrics registry off): the delta against the
+// plain burst is the full cost of structured event capture on the
+// hottest path.
+func BenchmarkWaveformBurstEventsEnabled(b *testing.B) {
+	obs.Disable()
+	event.EnableWith(event.New(1 << 16))
+	defer event.Disable()
+	benchBurst(b)
+}
+
+// bench3Record is one row of BENCH_3.json.
+type bench3Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON3 emits BENCH_3.json: the event-log overhead
+// trajectory (emit cost on/off, burst cost with events on) that the CI
+// bench job gates with `tools/benchgate -require-speedup 0`. It only
+// runs when MMTAG_BENCH3_JSON names the output path (the Makefile's
+// bench-json3 target); plain `go test` skips it.
+func TestWriteBenchJSON3(t *testing.T) {
+	path := os.Getenv("MMTAG_BENCH3_JSON")
+	if path == "" {
+		t.Skip("set MMTAG_BENCH3_JSON=<path> to emit the benchmark JSON")
+	}
+	obs.Disable()
+	event.Disable()
+	run := func(name string, fn func(b *testing.B)) bench3Record {
+		best := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		t.Logf("%s: %d ns/op, %d allocs/op", name, best.NsPerOp(), best.AllocsPerOp())
+		return bench3Record{
+			Name:        name,
+			NsPerOp:     float64(best.NsPerOp()),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+	}
+	records := []bench3Record{
+		// Same single-thread calibration benchmark as BENCH_2.json, kept
+		// first so benchgate can normalize machine speed across files
+		// generated on different hardware.
+		run("calibration_ook_modem", BenchmarkOOKModem),
+		run("event_emit_disabled", BenchmarkEventEmitDisabled),
+		run("event_emit_enabled", BenchmarkEventEmitEnabled),
+		run("waveform_burst_nop", BenchmarkWaveformBurst),
+		run("waveform_burst_events_enabled", BenchmarkWaveformBurstEventsEnabled),
+	}
+	byName := func(name string) bench3Record {
+		for _, r := range records {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing record %s", name)
+		return bench3Record{}
+	}
+	overheadPct := func(base, with float64) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return (with - base) / base * 100
+	}
+	nop := byName("waveform_burst_nop")
+	out := struct {
+		Schema     string         `json:"schema"`
+		Note       string         `json:"note"`
+		NumCPU     int            `json:"num_cpu"`
+		GoVersion  string         `json:"go_version"`
+		Benchmarks []bench3Record `json:"benchmarks"`
+		// EventsOverheadPct is the burst-path cost of live event capture
+		// relative to the disabled path — the number the PR holds under
+		// the benchgate tolerance.
+		EventsOverheadPct float64 `json:"events_overhead_pct_vs_nop"`
+	}{
+		Schema:            "mmtag-bench/3",
+		Note:              "regenerate with `make bench-json3`; ns/op is machine-dependent",
+		NumCPU:            runtime.NumCPU(),
+		GoVersion:         runtime.Version(),
+		Benchmarks:        records,
+		EventsOverheadPct: overheadPct(nop.NsPerOp, byName("waveform_burst_events_enabled").NsPerOp),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

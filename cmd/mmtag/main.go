@@ -40,22 +40,44 @@
 //	               anything else = Prometheus text)
 //	-trace PATH    collect spans during the run and write the span trace
 //	               to PATH as JSON ("-" = stdout)
+//	-events PATH   collect the structured event log during the run and
+//	               write it to PATH as JSON Lines ("-" = stdout); the
+//	               bytes are identical for any -workers count
+//	-serve ADDR    serve live telemetry on ADDR while the run executes:
+//	               /metrics, /metrics.json, /trace, /events, /healthz
+//	               and /debug/pprof/ (see DESIGN.md §7)
+//	-rundir DIR    write a self-describing run manifest into DIR after
+//	               the run: manifest.json, metrics.json, trace.json,
+//	               events.jsonl
+//	-repeat N      run the experiment N times, printing output only on
+//	               the first pass — keeps the process alive so -serve
+//	               endpoints can be scraped mid-run
 //	-workers N     parallel workers for the sweep fan-outs (default
 //	               NumCPU); results are byte-identical for any N
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/manifest"
+	"github.com/mmtag/mmtag/internal/obs/serve"
 	"github.com/mmtag/mmtag/internal/par"
 )
+
+// eventLogCapacity bounds the in-memory event log (~40 MB worst case at
+// full). Drops void the determinism guarantee, so the run warns on any.
+const eventLogCapacity = 1 << 18
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -72,8 +94,17 @@ type options struct {
 	bits    int
 	metrics string
 	trace   string
+	events  string
+	serveAt string
+	rundir  string
+	repeat  int
 	workers int
 }
+
+// allExperiments is the "all" subcommand's order.
+var allExperiments = []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber",
+	"mac", "selfint", "energy", "anticol", "blockage", "rateadapt", "fading",
+	"bands", "coded", "arq", "planar", "arraysize", "impair"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mmtag", flag.ContinueOnError)
@@ -85,6 +116,10 @@ func run(args []string) error {
 	fs.IntVar(&opt.bits, "bits", 200_000, "Monte-Carlo bits for the BER experiment")
 	fs.StringVar(&opt.metrics, "metrics", "", "write collected metrics to this path after the run (\"-\" = stdout; .json = JSON snapshot, else Prometheus text)")
 	fs.StringVar(&opt.trace, "trace", "", "write the collected span trace to this path as JSON (\"-\" = stdout)")
+	fs.StringVar(&opt.events, "events", "", "write the structured event log to this path as JSON Lines (\"-\" = stdout)")
+	fs.StringVar(&opt.serveAt, "serve", "", "serve live telemetry (metrics, trace, events, healthz, pprof) on this address while the run executes")
+	fs.StringVar(&opt.rundir, "rundir", "", "write a self-describing run manifest (manifest.json, metrics.json, trace.json, events.jsonl) into this directory")
+	fs.IntVar(&opt.repeat, "repeat", 1, "run the experiment this many times, printing only the first pass (keeps -serve scrapable mid-run)")
 	fs.IntVar(&opt.workers, "workers", runtime.NumCPU(), "parallel workers for sweep fan-outs (results are identical for any count)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all> [flags]")
@@ -99,29 +134,64 @@ func run(args []string) error {
 		return err
 	}
 	par.SetWorkers(opt.workers)
+	started := time.Now()
 	var reg *obs.Registry
-	if opt.metrics != "" || opt.trace != "" {
+	if opt.metrics != "" || opt.trace != "" || opt.serveAt != "" || opt.rundir != "" {
 		reg = obs.Enable()
 	}
+	var evLog *event.Log
+	if opt.events != "" || opt.serveAt != "" || opt.rundir != "" {
+		evLog = event.New(eventLogCapacity)
+		event.EnableWith(evLog)
+	}
+	var srv *serve.Server
+	if opt.serveAt != "" {
+		srv = serve.New(reg, evLog)
+		running, err := srv.Start(opt.serveAt)
+		if err != nil {
+			return err
+		}
+		defer running.Close()
+		fmt.Fprintf(os.Stderr, "mmtag: telemetry on http://%s/\n", running.Addr())
+	}
+
+	names := []string{name}
 	if name == "all" {
-		for _, n := range []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber", "mac", "selfint", "energy", "anticol", "blockage", "rateadapt", "fading", "bands", "coded", "arq", "planar", "arraysize", "impair"} {
-			if err := emit(n, opt); err != nil {
+		names = allExperiments
+	}
+	if opt.repeat < 1 {
+		opt.repeat = 1
+	}
+	for pass := 0; pass < opt.repeat; pass++ {
+		// Repeat passes rerun the workload for -serve watchers without
+		// duplicating the report on stdout.
+		out := io.Writer(os.Stdout)
+		if pass > 0 {
+			out = io.Discard
+		}
+		for _, n := range names {
+			if srv != nil {
+				srv.SetPhase(n)
+			}
+			if err := emit(out, n, opt); err != nil {
 				return err
 			}
-			fmt.Println()
+			if len(names) > 1 {
+				fmt.Fprintln(out)
+			}
 		}
-		return writeObservability(reg, opt)
 	}
-	if err := emit(name, opt); err != nil {
-		return err
+	if srv != nil {
+		srv.SetPhase("done")
 	}
-	return writeObservability(reg, opt)
+	return writeObservability(reg, evLog, started, name, opt)
 }
 
-// writeObservability dumps the run's metrics and span trace to the
-// paths the -metrics / -trace flags name.
-func writeObservability(reg *obs.Registry, opt options) error {
-	if reg == nil {
+// writeObservability dumps the run's metrics, span trace, event log and
+// run manifest to the paths the -metrics / -trace / -events / -rundir
+// flags name.
+func writeObservability(reg *obs.Registry, evLog *event.Log, started time.Time, experiment string, opt options) error {
+	if reg == nil && evLog == nil {
 		return nil
 	}
 	write := func(path string, data []byte) error {
@@ -130,6 +200,42 @@ func writeObservability(reg *obs.Registry, opt options) error {
 			return err
 		}
 		return os.WriteFile(path, data, 0o644)
+	}
+	if evLog != nil {
+		if dropped, _ := evLog.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "mmtag: event log dropped %d events at capacity %d; "+
+				"the exposition is truncated and no longer worker-count invariant\n",
+				dropped, eventLogCapacity)
+		}
+	}
+	if opt.events != "" && evLog != nil {
+		var buf bytes.Buffer
+		if err := evLog.WriteJSONL(&buf); err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		if err := write(opt.events, buf.Bytes()); err != nil {
+			return fmt.Errorf("write events: %w", err)
+		}
+	}
+	if opt.rundir != "" {
+		info := manifest.RunInfo{
+			Experiment: experiment,
+			Seed:       opt.seed,
+			Workers:    opt.workers,
+			Args:       os.Args,
+			Started:    started,
+			Extra: map[string]string{
+				"points": fmt.Sprintf("%d", opt.points),
+				"bits":   fmt.Sprintf("%d", opt.bits),
+				"repeat": fmt.Sprintf("%d", opt.repeat),
+			},
+		}
+		if _, err := manifest.Write(opt.rundir, info, reg, evLog); err != nil {
+			return err
+		}
+	}
+	if reg == nil {
+		return nil
 	}
 	if opt.metrics != "" {
 		var (
@@ -167,24 +273,24 @@ func writeObservability(reg *obs.Registry, opt options) error {
 	return nil
 }
 
-func emit(name string, opt options) error {
+func emit(w io.Writer, name string, opt options) error {
 	if opt.svg {
-		return emitSVG(name, opt)
+		return emitSVG(w, name, opt)
 	}
 	tab, err := tableFor(name, opt)
 	if err != nil {
 		return err
 	}
 	if opt.csv {
-		fmt.Print(tab.CSV())
+		fmt.Fprint(w, tab.CSV())
 	} else {
-		fmt.Print(tab.Render())
+		fmt.Fprint(w, tab.Render())
 	}
 	return nil
 }
 
-// emitSVG renders the chart-capable experiments as SVG on stdout.
-func emitSVG(name string, opt options) error {
+// emitSVG renders the chart-capable experiments as SVG.
+func emitSVG(w io.Writer, name string, opt options) error {
 	var (
 		svg string
 		err error
@@ -214,7 +320,7 @@ func emitSVG(name string, opt options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(svg)
+	fmt.Fprint(w, svg)
 	return nil
 }
 

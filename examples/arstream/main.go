@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"runtime"
 
 	"github.com/mmtag/mmtag"
@@ -23,8 +25,17 @@ import (
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the walk (Ctrl-C to exit)")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	if *serveAt != "" {
+		_, running, err := mmtag.ServeTelemetry(*serveAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer running.Close()
+		fmt.Fprintf(os.Stderr, "arstream: telemetry on http://%s/\n", running.Addr())
+	}
 	cb, err := mmtag.NewCodebook(-math.Pi/2, math.Pi/2, 24)
 	if err != nil {
 		log.Fatal(err)
@@ -58,4 +69,13 @@ func main() {
 		mmtag.FormatRate(res.MinRate), mmtag.FormatRate(res.MeanRate), mmtag.FormatRate(res.MaxRate))
 	fmt.Println("\nCSV trace:")
 	fmt.Print(res.Trace.CSV())
+
+	if *serveAt != "" {
+		// Keep the telemetry endpoints scrapable until interrupted, so the
+		// finished walk's metrics and events can still be curled.
+		fmt.Fprintln(os.Stderr, "arstream: walk complete; telemetry still up — Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 }

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"runtime"
 
 	"github.com/mmtag/mmtag"
@@ -22,8 +24,17 @@ import (
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the schedule (Ctrl-C to exit)")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	if *serveAt != "" {
+		_, running, err := mmtag.ServeTelemetry(*serveAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer running.Close()
+		fmt.Fprintf(os.Stderr, "multitag: telemetry on http://%s/\n", running.Addr())
+	}
 
 	src := mmtag.NewSource(99)
 	// Ten tags: a dense cluster near 20° (they will share a beam and
@@ -77,5 +88,14 @@ func main() {
 			fmt.Printf("tag %2d: link %-12s goodput %s\n",
 				sh.TagID, mmtag.FormatRate(sh.LinkRateBps), mmtag.FormatRate(sh.GoodputBps))
 		}
+	}
+
+	if *serveAt != "" {
+		// Keep the telemetry endpoints scrapable until interrupted, so the
+		// schedule's metrics and events can still be curled.
+		fmt.Fprintln(os.Stderr, "multitag: schedule complete; telemetry still up — Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }

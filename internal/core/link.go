@@ -24,6 +24,7 @@ import (
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -341,6 +342,17 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 		if enabled && errors.Is(err, reader.ErrSync) {
 			obs.Inc("core_sync_failures_total", obs.L("bw", bw.Label))
 		}
+		if event.Enabled() {
+			msg := "decode_failure"
+			if errors.Is(err, reader.ErrSync) {
+				msg = "sync_failure"
+			}
+			// Burst outcomes carry no virtual clock (MC trials are
+			// untimed), so t is 0; the line content still identifies the
+			// operating point.
+			event.Emit(0, event.LevelInfo, "core.burst", msg,
+				event.S("bw", bw.Label), event.S("mcs", mcs.String()))
+		}
 		res.Decoded = false
 		res.TotalBits = 8 * len(payload)
 		res.BitErrors = res.TotalBits
@@ -370,6 +382,15 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 	}
 	if enabled && res.Decoded {
 		obs.Inc("core_bursts_decoded_total", obs.L("bw", bw.Label))
+	}
+	if event.Enabled() {
+		msg := "crc_failure"
+		if res.Decoded {
+			msg = "decoded"
+		}
+		event.Emit(0, event.LevelInfo, "core.burst", msg,
+			event.S("bw", bw.Label), event.S("mcs", mcs.String()),
+			event.F("snr_db", res.MeasuredSNRdB), event.D("bit_errors", res.BitErrors))
 	}
 	obs.Add("core_bit_errors_total", float64(res.BitErrors))
 	return res, nil

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
@@ -34,6 +35,11 @@ type ARQResult struct {
 	Points []ARQPoint
 	// Frames per point.
 	Frames int
+	// LatencyP50S / LatencyP99S are virtual-clock frame-latency
+	// quantiles read from the mac_arq_frame_latency_seconds histogram.
+	// Filled only when a metrics registry is enabled; zero otherwise, in
+	// which case the table omits the note.
+	LatencyP50S, LatencyP99S float64
 }
 
 // ARQGoodput sweeps range in the 2 GHz band (where the SNR cliff falls
@@ -77,6 +83,11 @@ func ARQGoodput(nFrames int, seed uint64) (ARQResult, error) {
 		return res, err
 	}
 	res.Points = points
+	if reg := obs.Active(); reg != nil {
+		snap := reg.Snapshot()
+		res.LatencyP50S, _ = snap.Quantile("mac_arq_frame_latency_seconds", 0.50)
+		res.LatencyP99S, _ = snap.Quantile("mac_arq_frame_latency_seconds", 0.99)
+	}
 	return res, nil
 }
 
@@ -90,6 +101,11 @@ func (r ARQResult) Table() Table {
 			fmt.Sprintf("%d × 64-byte frames per point, ≤3 retries; goodput = delivered payload / total airtime", r.Frames),
 			"the PHY's 1 Gb/s becomes ≈0.87 Gb/s of goodput inside the cliff (framing overhead), collapsing across it",
 		},
+	}
+	if r.LatencyP99S > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"frame latency p50 %.2f µs / p99 %.2f µs on the virtual clock (mac_arq_frame_latency_seconds)",
+			r.LatencyP50S*1e6, r.LatencyP99S*1e6))
 	}
 	for _, p := range r.Points {
 		t.Rows = append(t.Rows, []string{

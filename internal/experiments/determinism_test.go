@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/par"
 )
 
@@ -69,6 +71,44 @@ func TestExperimentsWorkerCountInvariance(t *testing.T) {
 		par.SetWorkers(w)
 		if got := renderAll(t); got != ref {
 			t.Fatalf("workers=%d output diverged from the workers=1 reference stream", w)
+		}
+	}
+}
+
+// eventsAll regenerates the instrumented experiments with the event log
+// enabled and returns the serialized JSONL exposition.
+func eventsAll(t *testing.T) []byte {
+	t.Helper()
+	log := event.New(0)
+	event.EnableWith(log)
+	defer event.Disable()
+	renderAll(t)
+	if d, _ := log.Dropped(); d != 0 {
+		t.Fatalf("event log dropped %d events; determinism is void under drops", d)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventLogWorkerCountInvariance extends the determinism contract to
+// the structured event log: the events.jsonl exposition must be
+// byte-identical for any worker count, even though the emitting shards
+// interleave differently on every run. The CI determinism job diffs the
+// same artifact end to end through cmd/mmtag -rundir.
+func TestEventLogWorkerCountInvariance(t *testing.T) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	ref := eventsAll(t)
+	if len(ref) == 0 {
+		t.Fatal("instrumented experiments emitted no events")
+	}
+	for _, w := range []int{4, runtime.NumCPU() + 3} {
+		par.SetWorkers(w)
+		if got := eventsAll(t); !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d events.jsonl diverged from the workers=1 reference", w)
 		}
 	}
 }

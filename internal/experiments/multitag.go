@@ -8,6 +8,7 @@ import (
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
@@ -29,6 +30,10 @@ type MultiTagPoint struct {
 // MultiTagResult is experiment E7: the §9 multi-tag network built out.
 type MultiTagResult struct {
 	Points []MultiTagPoint
+	// CycleP50S / CycleP99S are scan-cycle quantiles read from the
+	// mac_sdm_cycle_seconds histogram, filled only when a metrics
+	// registry is enabled (the table omits the note otherwise).
+	CycleP50S, CycleP99S float64
 }
 
 // MultiTag sweeps tag populations placed uniformly over a ±60° sector at
@@ -99,6 +104,11 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 		return res, err
 	}
 	res.Points = points
+	if reg := obs.Active(); reg != nil {
+		snap := reg.Snapshot()
+		res.CycleP50S, _ = snap.Quantile("mac_sdm_cycle_seconds", 0.50)
+		res.CycleP99S, _ = snap.Quantile("mac_sdm_cycle_seconds", 0.99)
+	}
 	return res, nil
 }
 
@@ -112,6 +122,11 @@ func (r MultiTagResult) Table() Table {
 			"tags uniform over ±60° at 3–10 ft; reader = default horn, 8-beam codebook, 1 ms dwell",
 			"4-beam column = the §9 MIMO multi-beam extension",
 		},
+	}
+	if r.CycleP99S > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"scan cycle p50 %.2f ms / p99 %.2f ms (mac_sdm_cycle_seconds)",
+			r.CycleP50S*1e3, r.CycleP99S*1e3))
 	}
 	for _, p := range r.Points {
 		t.Rows = append(t.Rows, []string{

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/units"
@@ -106,6 +107,7 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 		return res, err
 	}
 	prevWasASK := false
+	prevScheme := ""
 	for _, pt := range points {
 		if pt.AdaptedRateBps > res.PeakRateBps {
 			res.PeakRateBps = pt.AdaptedRateBps
@@ -114,6 +116,17 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 			prevWasASK = true
 		} else if prevWasASK && res.CrossoverFt == 0 {
 			res.CrossoverFt = pt.RangeFt
+		}
+		// Scheme switches are detected in this sequential scan over the
+		// ordered points, so the events are worker-count independent even
+		// though the budgets above were computed in parallel.
+		if pt.Scheme != prevScheme {
+			if event.Enabled() {
+				event.Emit(0, event.LevelInfo, "experiments.rateadapt", "scheme_switch",
+					event.F("range_ft", pt.RangeFt),
+					event.S("from", prevScheme), event.S("to", pt.Scheme))
+			}
+			prevScheme = pt.Scheme
 		}
 	}
 	res.Points = points

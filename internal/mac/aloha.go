@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/rng"
 )
 
@@ -97,6 +98,11 @@ func RunAloha(nTags int, cfg AlohaConfig, src *rng.Source) (AlohaResult, error) 
 			}
 		}
 		res.TotalSlots += frame
+		if event.Enabled() {
+			event.Emit(0, event.LevelDebug, "mac.aloha", "round",
+				event.D("round", res.Rounds), event.D("frame", frame),
+				event.D("remaining", remaining))
+		}
 		if remaining > 0 {
 			frame = remaining
 			if frame < 1 {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/rng"
 )
 
@@ -138,6 +139,11 @@ func ScheduleSDM(readings []core.BeamReading, cfg SDMConfig, src *rng.Source) (S
 	})
 	obs.Inc("mac_sdm_cycles_total")
 	obs.Observe("mac_sdm_cycle_seconds", res.CycleS)
+	if event.Enabled() {
+		event.Emit(0, event.LevelInfo, "mac.sdm", "cycle",
+			event.D("tags", len(res.Shares)), event.D("beams", res.OccupiedBeams),
+			event.F("cycle_s", res.CycleS), event.F("aggregate_bps", res.AggregateBps))
+	}
 	return res, nil
 }
 

@@ -1,0 +1,311 @@
+// Package event is the structured event log of the observability layer:
+// a leveled, ring-buffered record of the simulation's discrete decisions
+// (burst outcomes, sync verdicts, MAC state transitions, engine guard
+// trips) encoded as JSONL. Metrics (internal/obs) answer "how much";
+// the event log answers "what happened, in order".
+//
+// Design points, mirroring internal/obs:
+//
+//   - Disabled by default. Every package-level helper costs one atomic
+//     load and a nil check until Enable installs a Log, so hot paths stay
+//     effectively free. Call sites that would allocate field slices guard
+//     on Enabled().
+//   - Bounded memory. The log keeps at most its capacity of encoded
+//     events; once full, further events are counted as dropped rather
+//     than evicting older ones, so a truncated log says so.
+//   - Deterministic exposition. Events carry the caller's virtual-clock
+//     timestamp (never wall time), and Lines/WriteJSONL emit them sorted
+//     by (time, encoded bytes). Because the repo's parallel fan-outs
+//     shard work by index (internal/par), the *multiset* of events is
+//     identical for any -workers count, and the sorted exposition is
+//     therefore byte-identical too — as long as no capacity drops
+//     occurred (Dropped reports them).
+//   - Deterministic sampling. Per-category sampling keeps an event iff
+//     the FNV-1a hash of its encoded line is 0 mod the sampling period.
+//     Keyed on content rather than arrival order, the decision is
+//     independent of scheduling and worker count.
+package event
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mmtag/mmtag/internal/obs"
+)
+
+// Level classifies an event's severity.
+type Level uint8
+
+// Event levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+)
+
+// String names the level the way the JSONL encoding does.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	}
+	return "unknown"
+}
+
+// DefaultCapacity bounds a Log constructed with New(0).
+const DefaultCapacity = 1 << 16
+
+// entry is one retained event: the virtual timestamp is kept alongside
+// the encoded line so exposition can sort numerically by time (the
+// encoded float is not lexicographically ordered).
+type entry struct {
+	t    float64
+	line []byte
+}
+
+// Log is a concurrency-safe bounded event buffer.
+type Log struct {
+	mu       sync.Mutex
+	capacity int
+	entries  []entry
+	counts   map[string]uint64 // kept events per category
+	dropped  uint64            // events lost to the capacity bound
+	sampled  uint64            // events dropped by sampling
+	every    map[string]uint64 // per-category sampling period
+	minLevel Level
+}
+
+// New returns an empty log. capacity <= 0 selects DefaultCapacity.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{
+		capacity: capacity,
+		counts:   map[string]uint64{},
+		every:    map[string]uint64{},
+	}
+}
+
+// SetMinLevel discards events below lvl at emission time.
+func (l *Log) SetMinLevel(lvl Level) {
+	l.mu.Lock()
+	l.minLevel = lvl
+	l.mu.Unlock()
+}
+
+// SetSampling keeps roughly one in every `every` events of the category
+// (every <= 1 keeps all). The kept subset is a pure function of event
+// content, so sampling never breaks worker-count determinism.
+func (l *Log) SetSampling(cat string, every int) {
+	l.mu.Lock()
+	if every <= 1 {
+		delete(l.every, cat)
+	} else {
+		l.every[cat] = uint64(every)
+	}
+	l.mu.Unlock()
+}
+
+// Emit records one event at virtual time t. Field keys are encoded in
+// sorted order so the line bytes are independent of call-site order.
+func (l *Log) Emit(t float64, lvl Level, cat, msg string, fields ...obs.Label) {
+	line := Encode(t, lvl, cat, msg, fields...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lvl < l.minLevel {
+		return
+	}
+	if every, ok := l.every[cat]; ok {
+		h := fnv.New64a()
+		h.Write(line)
+		if h.Sum64()%every != 0 {
+			l.sampled++
+			return
+		}
+	}
+	if len(l.entries) >= l.capacity {
+		l.dropped++
+		return
+	}
+	l.entries = append(l.entries, entry{t: t, line: line})
+	l.counts[cat]++
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Dropped returns how many events were lost to the capacity bound and
+// how many were removed by sampling. A nonzero capacity count means the
+// exposition may no longer be worker-count invariant (which events
+// arrived first depends on scheduling once the buffer is full).
+func (l *Log) Dropped() (capacity, sampled uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped, l.sampled
+}
+
+// CategoryCount returns the number of retained events in a category.
+func (l *Log) CategoryCount(cat string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[cat]
+}
+
+// Lines returns the encoded events sorted by (time, bytes) — the
+// deterministic exposition order. The returned slices are copies.
+func (l *Log) Lines() [][]byte {
+	l.mu.Lock()
+	sorted := append([]entry{}, l.entries...)
+	l.mu.Unlock()
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].t != sorted[j].t {
+			return sorted[i].t < sorted[j].t
+		}
+		return string(sorted[i].line) < string(sorted[j].line)
+	})
+	out := make([][]byte, len(sorted))
+	for i, e := range sorted {
+		out[i] = append([]byte{}, e.line...)
+	}
+	return out
+}
+
+// WriteJSONL writes the sorted events as JSON Lines (one object per
+// line, trailing newline each).
+func (l *Log) WriteJSONL(w io.Writer) error {
+	for _, line := range l.Lines() {
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxTime returns the largest event timestamp (0 when empty): the run's
+// virtual extent as seen by the log.
+func (l *Log) MaxTime() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	max := 0.0
+	for _, e := range l.entries {
+		if e.t > max {
+			max = e.t
+		}
+	}
+	return max
+}
+
+// Reset discards every retained event and counter but keeps the
+// configuration (capacity, level, sampling).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.counts = map[string]uint64{}
+	l.dropped, l.sampled = 0, 0
+	l.mu.Unlock()
+}
+
+// Encode renders one event as its canonical JSONL line (no trailing
+// newline): {"t":…,"lvl":"…","cat":"…","msg":"…","fields":{…}} with
+// fields sorted by key. The encoding is hand-rolled so identical events
+// are identical bytes on every platform and Go version.
+func Encode(t float64, lvl Level, cat, msg string, fields ...obs.Label) []byte {
+	b := make([]byte, 0, 64+16*len(fields))
+	b = append(b, `{"t":`...)
+	b = appendFloat(b, t)
+	b = append(b, `,"lvl":`...)
+	b = strconv.AppendQuote(b, lvl.String())
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, cat)
+	b = append(b, `,"msg":`...)
+	b = strconv.AppendQuote(b, msg)
+	if len(fields) > 0 {
+		sorted := append([]obs.Label{}, fields...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		b = append(b, `,"fields":{`...)
+		for i, f := range sorted {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, f.Key)
+			b = append(b, ':')
+			b = strconv.AppendQuote(b, f.Value)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b
+}
+
+// appendFloat renders the timestamp; NaN/Inf (not valid JSON numbers)
+// are quoted.
+func appendFloat(b []byte, v float64) []byte {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "NaN", "+Inf", "-Inf", "Inf":
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}
+
+// F formats a float64 event field with %g — the shared helper event
+// sites use so equal values always yield equal bytes.
+func F(key string, v float64) obs.Label {
+	return obs.Label{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// D formats an integer event field.
+func D(key string, v int) obs.Label {
+	return obs.Label{Key: key, Value: strconv.Itoa(v)}
+}
+
+// S is a string event field (an alias for obs.L at event sites).
+func S(key, value string) obs.Label { return obs.Label{Key: key, Value: value} }
+
+// ---------------------------------------------------------------------
+// Package-level default log.
+
+var active atomic.Pointer[Log]
+
+// Enable installs a fresh Log (capacity <= 0 = DefaultCapacity) as the
+// package default and returns it.
+func Enable(capacity int) *Log {
+	l := New(capacity)
+	active.Store(l)
+	return l
+}
+
+// EnableWith installs an existing Log as the package default.
+func EnableWith(l *Log) { active.Store(l) }
+
+// Disable removes the default Log; helpers become no-ops again.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed Log, or nil when disabled.
+func Active() *Log { return active.Load() }
+
+// Enabled reports whether a Log is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Emit records one event on the default log (no-op when disabled).
+// Emission sites pass the virtual-clock time where one exists (the sim
+// engine's now) and 0 otherwise — never wall time, which would break
+// the worker-count determinism contract.
+func Emit(t float64, lvl Level, cat, msg string, fields ...obs.Label) {
+	if l := active.Load(); l != nil {
+		l.Emit(t, lvl, cat, msg, fields...)
+	}
+}

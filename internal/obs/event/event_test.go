@@ -1,0 +1,238 @@
+package event
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mmtag/mmtag/internal/obs"
+)
+
+func TestEncodeCanonical(t *testing.T) {
+	line := Encode(1.5, LevelInfo, "mac.arq", "retry", D("attempt", 2), S("bw", "2GHz"))
+	want := `{"t":1.5,"lvl":"info","cat":"mac.arq","msg":"retry","fields":{"attempt":"2","bw":"2GHz"}}`
+	if string(line) != want {
+		t.Fatalf("encode:\n got %s\nwant %s", line, want)
+	}
+	// Field order at the call site must not change the bytes.
+	swapped := Encode(1.5, LevelInfo, "mac.arq", "retry", S("bw", "2GHz"), D("attempt", 2))
+	if string(swapped) != want {
+		t.Fatalf("field order changed encoding: %s", swapped)
+	}
+	// Every line must be valid JSON.
+	var v map[string]any
+	if err := json.Unmarshal(line, &v); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if v["msg"] != "retry" {
+		t.Fatalf("msg = %v", v["msg"])
+	}
+}
+
+func TestEncodeNonFiniteTime(t *testing.T) {
+	for _, tt := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		line := Encode(tt, LevelWarn, "c", "m")
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("t=%v: invalid JSON %s: %v", tt, line, err)
+		}
+	}
+}
+
+func TestEmitAndLines(t *testing.T) {
+	l := New(0)
+	l.Emit(2.0, LevelInfo, "a", "second")
+	l.Emit(1.0, LevelInfo, "a", "first")
+	l.Emit(1.0, LevelInfo, "a", "also-first")
+	lines := l.Lines()
+	if len(lines) != 3 {
+		t.Fatalf("len = %d", len(lines))
+	}
+	// Sorted by time, ties by bytes.
+	if !strings.Contains(string(lines[0]), "also-first") {
+		t.Fatalf("tie order: %s", lines[0])
+	}
+	if !strings.Contains(string(lines[2]), "second") {
+		t.Fatalf("time order: %s", lines[2])
+	}
+	if got := l.CategoryCount("a"); got != 3 {
+		t.Fatalf("category count = %d", got)
+	}
+	if got := l.MaxTime(); got != 2.0 {
+		t.Fatalf("max time = %g", got)
+	}
+}
+
+func TestLevelFilter(t *testing.T) {
+	l := New(0)
+	l.SetMinLevel(LevelInfo)
+	l.Emit(0, LevelDebug, "c", "dropped")
+	l.Emit(0, LevelInfo, "c", "kept")
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestCapacityDrops(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 5; i++ {
+		l.Emit(float64(i), LevelInfo, "c", "m")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	capDrops, sampled := l.Dropped()
+	if capDrops != 3 || sampled != 0 {
+		t.Fatalf("dropped = (%d, %d), want (3, 0)", capDrops, sampled)
+	}
+}
+
+// TestSamplingDeterministic checks that per-category sampling is a pure
+// function of event content: the same multiset emitted in any order
+// keeps the same subset.
+func TestSamplingDeterministic(t *testing.T) {
+	mk := func(order []int) [][]byte {
+		l := New(0)
+		l.SetSampling("hot", 4)
+		for _, i := range order {
+			l.Emit(float64(i), LevelDebug, "hot", "sample", D("i", i))
+		}
+		return l.Lines()
+	}
+	fwd := make([]int, 256)
+	for i := range fwd {
+		fwd[i] = i
+	}
+	shuffled := append([]int{}, fwd...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a, b := mk(fwd), mk(shuffled)
+	if len(a) == 0 || len(a) == 256 {
+		t.Fatalf("sampling kept %d of 256 (want a strict subset)", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("order changed the sampled subset: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("line %d differs across emission orders", i)
+		}
+	}
+	// The uncategorized path stays unsampled.
+	l := New(0)
+	l.SetSampling("hot", 1000)
+	l.Emit(0, LevelInfo, "cold", "kept")
+	if l.Len() != 1 {
+		t.Fatal("sampling leaked onto another category")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l := New(0)
+	l.Emit(0.25, LevelWarn, "sim.engine", "event_limit", D("limit", 10))
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("missing trailing newline: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("want one line, got %q", out)
+	}
+}
+
+func TestResetKeepsConfig(t *testing.T) {
+	l := New(3)
+	l.SetSampling("x", 2)
+	for i := 0; i < 10; i++ {
+		l.Emit(0, LevelInfo, "c", "m", D("i", i))
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("len after reset = %d", l.Len())
+	}
+	if d, _ := l.Dropped(); d != 0 {
+		t.Fatalf("dropped after reset = %d", d)
+	}
+}
+
+func TestPackageLevelDisabledNoop(t *testing.T) {
+	Disable()
+	if Enabled() || Active() != nil {
+		t.Fatal("expected disabled state")
+	}
+	Emit(0, LevelInfo, "c", "m") // must not panic
+	l := Enable(16)
+	defer Disable()
+	if Active() != l || !Enabled() {
+		t.Fatal("Enable did not install the log")
+	}
+	Emit(0, LevelInfo, "c", "m")
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+// TestConcurrentEmit exercises the log under the race detector and
+// checks the sorted exposition is independent of interleaving.
+func TestConcurrentEmit(t *testing.T) {
+	l := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emit(float64(i), LevelInfo, "par", "shard",
+					D("w", w), D("i", i))
+				_ = l.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	ref := New(0)
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 100; i++ {
+			ref.Emit(float64(i), LevelInfo, "par", "shard",
+				D("w", w), D("i", i))
+		}
+	}
+	a, b := l.Lines(), ref.Lines()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("line %d differs from the sequential reference", i)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelDebug: "debug", LevelInfo: "info", LevelWarn: "warn", Level(99): "unknown",
+	} {
+		if got := lvl.String(); got != want {
+			t.Fatalf("Level(%d).String() = %q, want %q", lvl, got, want)
+		}
+	}
+}
+
+func TestFieldHelpers(t *testing.T) {
+	if f := F("snr", 12.5); f.Key != "snr" || f.Value != "12.5" {
+		t.Fatalf("F: %+v", f)
+	}
+	if d := D("n", -3); d.Value != "-3" {
+		t.Fatalf("D: %+v", d)
+	}
+	if s := S("bw", "2GHz"); s != obs.L("bw", "2GHz") {
+		t.Fatalf("S: %+v", s)
+	}
+}

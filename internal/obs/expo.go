@@ -89,6 +89,36 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
 }
 
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string
+// MarshalJSON emits, so snapshots round-trip through JSON.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.LE, &s); err == nil {
+		switch s {
+		case "+Inf", "Inf":
+			b.LE = math.Inf(1)
+		case "-Inf":
+			b.LE = math.Inf(-1)
+		default:
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("obs: bucket bound %q: %w", s, err)
+			}
+			b.LE = v
+		}
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}
+
 // JSON renders the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
@@ -126,6 +156,87 @@ func (s Snapshot) Counter(name string, labels ...Label) (float64, bool) {
 		if match {
 			return m.Value, true
 		}
+	}
+	return 0, false
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram family
+// by linear interpolation inside the bucket holding the target rank —
+// the same estimator as Prometheus's histogram_quantile. With labels it
+// reads one series; with none it aggregates every series in the family
+// (bucket layouts agree within a family by construction). Ranks landing
+// in the +Inf bucket clamp to the highest finite bound, since that
+// bucket has no upper edge to interpolate toward. ok is false for an
+// unknown family, a non-histogram, an empty histogram, or q outside
+// [0, 1].
+func (s Snapshot) Quantile(name string, q float64, labels ...Label) (float64, bool) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, false
+	}
+	var want []Label
+	if len(labels) > 0 {
+		want = sortLabels(labels)
+	}
+	// Merge the cumulative buckets of every matching series.
+	var merged []BucketCount
+	for _, m := range s.Metrics {
+		if m.Name != name || m.Kind != KindHistogram.String() || len(m.Buckets) == 0 {
+			continue
+		}
+		if want != nil {
+			if len(m.Labels) != len(want) {
+				continue
+			}
+			match := true
+			for _, l := range want {
+				if m.Labels[l.Key] != l.Value {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		if merged == nil {
+			merged = append([]BucketCount{}, m.Buckets...)
+			continue
+		}
+		if len(m.Buckets) != len(merged) {
+			return 0, false
+		}
+		for i, b := range m.Buckets {
+			merged[i].Count += b.Count
+		}
+	}
+	if merged == nil {
+		return 0, false
+	}
+	total := merged[len(merged)-1].Count
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	for i, b := range merged {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.LE, 1) {
+			// No upper edge: clamp to the last finite bound.
+			if i > 0 {
+				return merged[i-1].LE, true
+			}
+			return 0, false
+		}
+		lo, below := 0.0, uint64(0)
+		if i > 0 {
+			lo, below = merged[i-1].LE, merged[i-1].Count
+		}
+		in := b.Count - below
+		if in == 0 {
+			return b.LE, true
+		}
+		return lo + (b.LE-lo)*(rank-float64(below))/float64(in), true
 	}
 	return 0, false
 }

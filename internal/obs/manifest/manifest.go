@@ -1,0 +1,214 @@
+// Package manifest makes every experiment run a self-describing,
+// reproducible artifact. Given a run directory (-rundir on cmd/mmtag)
+// it writes:
+//
+//	manifest.json   what ran: experiment, seed, workers, Go version,
+//	                wall + virtual duration, store sizes, and a SHA-256
+//	                digest of every sibling file
+//	metrics.json    the obs.Snapshot at end of run
+//	trace.json      the finished spans (+ drop counter)
+//	events.jsonl    the structured event log, in deterministic order
+//
+// events.jsonl is byte-identical for any -workers count (the event
+// package's determinism contract), so two runs of the same experiment
+// at the same seed can be diffed event-for-event. manifest.json carries
+// the wall-clock fields, and the span-bearing files (trace.json, and
+// metrics.json via the snapshot's embedded spans) ride the registry
+// clock — wall time by default — so those may differ between runs.
+package manifest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
+)
+
+// Schema identifies the manifest format.
+const Schema = "mmtag-run/1"
+
+// RunInfo is what the caller knows about the run.
+type RunInfo struct {
+	// Experiment is the subcommand or workload name ("arq", "all").
+	Experiment string
+	// Seed is the randomness seed the run used.
+	Seed uint64
+	// Workers is the parallel worker count.
+	Workers int
+	// Args is the full command line (os.Args), for reproduction.
+	Args []string
+	// Started is the wall-clock start of the run.
+	Started time.Time
+	// Extra carries free-form key/value notes (flag values, build tags).
+	Extra map[string]string
+}
+
+// FileDigest records one written artifact.
+type FileDigest struct {
+	// Bytes is the file size.
+	Bytes int `json:"bytes"`
+	// SHA256 is the hex digest of the contents.
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the manifest.json body.
+type Manifest struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	Seed       uint64            `json:"seed"`
+	Workers    int               `json:"workers"`
+	Args       []string          `json:"args,omitempty"`
+	Extra      map[string]string `json:"extra,omitempty"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	// StartedUTC / WallDurationS are wall-clock accounting — the
+	// non-reproducible part of the record, quarantined here so the
+	// sibling files stay diffable.
+	StartedUTC    string  `json:"started_utc"`
+	WallDurationS float64 `json:"wall_duration_s"`
+	// VirtualDurationS is the largest virtual timestamp in the event
+	// log: how much simulated time the run covered. Only events are
+	// consulted — they carry virtual time by contract, while spans ride
+	// the registry clock, which defaults to the wall clock.
+	VirtualDurationS float64 `json:"virtual_duration_s"`
+	// MetricSeries / Spans / Events size the captured stores.
+	MetricSeries  int    `json:"metric_series"`
+	Spans         int    `json:"spans"`
+	DroppedSpans  uint64 `json:"dropped_spans,omitempty"`
+	Events        int    `json:"events"`
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+	// Files digests every sibling artifact written with the manifest.
+	Files map[string]FileDigest `json:"files"`
+}
+
+// Write captures the registry and event log (either may be nil) into
+// dir, creating it if needed, and returns the manifest it wrote.
+func Write(dir string, info RunInfo, reg *obs.Registry, log *event.Log) (Manifest, error) {
+	m := Manifest{
+		Schema:     Schema,
+		Experiment: info.Experiment,
+		Seed:       info.Seed,
+		Workers:    info.Workers,
+		Args:       info.Args,
+		Extra:      info.Extra,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Files:      map[string]FileDigest{},
+	}
+	if !info.Started.IsZero() {
+		m.StartedUTC = info.Started.UTC().Format(time.RFC3339Nano)
+		m.WallDurationS = time.Since(info.Started).Seconds()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return m, fmt.Errorf("manifest: %w", err)
+	}
+
+	write := func(name string, data []byte) error {
+		sum := sha256.Sum256(data)
+		m.Files[name] = FileDigest{Bytes: len(data), SHA256: hex.EncodeToString(sum[:])}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return fmt.Errorf("manifest: write %s: %w", name, err)
+		}
+		return nil
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		m.MetricSeries = snap.SeriesCount()
+		m.Spans = len(snap.Spans)
+		m.DroppedSpans = snap.DroppedSpans
+		data, err := snap.JSON()
+		if err != nil {
+			return m, fmt.Errorf("manifest: metrics snapshot: %w", err)
+		}
+		if err := write("metrics.json", append(data, '\n')); err != nil {
+			return m, err
+		}
+		trace := struct {
+			Spans        []obs.SpanRecord `json:"spans"`
+			DroppedSpans uint64           `json:"dropped_spans,omitempty"`
+		}{Spans: snap.Spans, DroppedSpans: snap.DroppedSpans}
+		if trace.Spans == nil {
+			trace.Spans = []obs.SpanRecord{}
+		}
+		tdata, err := json.MarshalIndent(trace, "", "  ")
+		if err != nil {
+			return m, fmt.Errorf("manifest: trace: %w", err)
+		}
+		if err := write("trace.json", append(tdata, '\n')); err != nil {
+			return m, err
+		}
+	}
+	if log != nil {
+		m.Events = log.Len()
+		m.DroppedEvents, _ = log.Dropped()
+		if t := log.MaxTime(); t > m.VirtualDurationS {
+			m.VirtualDurationS = t
+		}
+		var buf bytes.Buffer
+		if err := log.WriteJSONL(&buf); err != nil {
+			return m, fmt.Errorf("manifest: events: %w", err)
+		}
+		if err := write("events.jsonl", buf.Bytes()); err != nil {
+			return m, err
+		}
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return m, fmt.Errorf("manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644); err != nil {
+		return m, fmt.Errorf("manifest: write manifest.json: %w", err)
+	}
+	return m, nil
+}
+
+// Read loads a manifest.json from a run directory.
+func Read(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("manifest: %s: %w", dir, err)
+	}
+	if m.Schema != Schema {
+		return m, fmt.Errorf("manifest: %s: schema %q, want %q", dir, m.Schema, Schema)
+	}
+	return m, nil
+}
+
+// Verify re-hashes every file the manifest lists and reports the first
+// mismatch — the integrity check for an archived run directory.
+func Verify(dir string) error {
+	m, err := Read(dir)
+	if err != nil {
+		return err
+	}
+	for name, want := range m.Files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != want.SHA256 {
+			return fmt.Errorf("manifest: %s: digest mismatch (have %s, manifest says %s)",
+				name, got, want.SHA256)
+		}
+	}
+	return nil
+}

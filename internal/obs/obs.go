@@ -12,7 +12,6 @@
 package obs
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -409,7 +408,10 @@ func formatLabels(labels []Label, extra ...Label) string {
 	}
 	parts := make([]string, len(all))
 	for i, l := range all {
-		parts[i] = fmt.Sprintf("%s=%q", sanitizeName(l.Key), escapeLabelValue(l.Value))
+		// Quote by hand: escapeLabelValue already applies the exposition
+		// format's escaping (\\, \", \n), and %q on top of it would escape
+		// the escapes, so a value like `2"GHz` would scrape as `2\\\"GHz`.
+		parts[i] = sanitizeName(l.Key) + `="` + escapeLabelValue(l.Value) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }

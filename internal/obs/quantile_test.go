@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quantileRegistry() *Registry {
+	// Bucket templates are package-global; a test-scoped family name
+	// keeps this fixture from leaking into other tests' histograms.
+	RegisterBuckets("quantile_test_lat", 1, 2, 4, 8)
+	return NewRegistry()
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := quantileRegistry()
+	// 10 samples uniform in (0,1]: the whole mass sits in the first
+	// bucket, so quantiles interpolate linearly from 0 to 1.
+	for i := 0; i < 10; i++ {
+		r.Observe("quantile_test_lat", 0.5)
+	}
+	snap := r.Snapshot()
+	if v, ok := snap.Quantile("quantile_test_lat", 0.5); !ok || v != 0.5 {
+		t.Fatalf("p50 = %v, %v; want 0.5", v, ok)
+	}
+	if v, ok := snap.Quantile("quantile_test_lat", 1); !ok || v != 1 {
+		t.Fatalf("p100 = %v, %v; want bucket bound 1", v, ok)
+	}
+	// Mass split across buckets: 5 samples ≤ 1, 5 in (4,8]. The median
+	// rank lands exactly on the first bucket's cumulative count.
+	r2 := quantileRegistry()
+	for i := 0; i < 5; i++ {
+		r2.Observe("quantile_test_lat", 0.5)
+		r2.Observe("quantile_test_lat", 6)
+	}
+	snap = r2.Snapshot()
+	if v, ok := snap.Quantile("quantile_test_lat", 0.5); !ok || v != 1 {
+		t.Fatalf("split p50 = %v, %v; want 1", v, ok)
+	}
+	if v, ok := snap.Quantile("quantile_test_lat", 0.75); !ok || v != 6 {
+		t.Fatalf("split p75 = %v, %v; want 6 (midway through (4,8])", v, ok)
+	}
+}
+
+func TestQuantileInfClamp(t *testing.T) {
+	r := quantileRegistry()
+	r.Observe("quantile_test_lat", 100) // lands in the +Inf bucket
+	snap := r.Snapshot()
+	v, ok := snap.Quantile("quantile_test_lat", 0.99)
+	if !ok || v != 8 {
+		t.Fatalf("overflow quantile = %v, %v; want clamp to highest finite bound 8", v, ok)
+	}
+}
+
+func TestQuantileLabelsAndAggregate(t *testing.T) {
+	r := quantileRegistry()
+	for i := 0; i < 8; i++ {
+		r.Observe("quantile_test_lat", 0.5, L("bw", "2GHz"))
+		r.Observe("quantile_test_lat", 6, L("bw", "10MHz"))
+	}
+	snap := r.Snapshot()
+	// Per-series: all 2GHz mass is in (0,1].
+	if v, ok := snap.Quantile("quantile_test_lat", 0.5, L("bw", "2GHz")); !ok || v > 1 {
+		t.Fatalf("2GHz p50 = %v, %v", v, ok)
+	}
+	if v, ok := snap.Quantile("quantile_test_lat", 0.5, L("bw", "10MHz")); !ok || v <= 4 {
+		t.Fatalf("10MHz p50 = %v, %v", v, ok)
+	}
+	// Aggregate across the family: half the mass below 1, half in (4,8].
+	if v, ok := snap.Quantile("quantile_test_lat", 0.25); !ok || v != 0.5 {
+		t.Fatalf("aggregate p25 = %v, %v; want 0.5", v, ok)
+	}
+	if _, ok := snap.Quantile("quantile_test_lat", 0.5, L("bw", "nope")); ok {
+		t.Fatal("unknown series must report !ok")
+	}
+}
+
+func TestQuantileRejects(t *testing.T) {
+	r := quantileRegistry()
+	r.Add("reqs", 1)
+	snap := r.Snapshot()
+	if _, ok := snap.Quantile("quantile_test_lat", 0.5); ok {
+		t.Fatal("empty histogram must report !ok")
+	}
+	r.Observe("quantile_test_lat", 0.5)
+	snap = r.Snapshot()
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, ok := snap.Quantile("quantile_test_lat", q); ok {
+			t.Fatalf("q=%v must report !ok", q)
+		}
+	}
+	if _, ok := snap.Quantile("reqs", 0.5); ok {
+		t.Fatal("counter family must report !ok")
+	}
+	if _, ok := snap.Quantile("absent", 0.5); ok {
+		t.Fatal("unknown family must report !ok")
+	}
+}
+
+// TestLabelValueEscaping: the exposition must escape label values once —
+// a quote in a value scrapes as \" (not the doubly-escaped \\\" the old
+// %q formatting produced).
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Add("reqs", 1, L("path", `say "hi"\now`))
+	r.Add("reqs", 1, L("path", "two\nlines"))
+	text := r.PrometheusText()
+	if !strings.Contains(text, `path="say \"hi\"\\now"`) {
+		t.Fatalf("quote/backslash escaping wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `path="two\nlines"`) {
+		t.Fatalf("newline escaping wrong:\n%s", text)
+	}
+	if strings.Contains(text, `\\\"`) || strings.ContainsRune(text, '\r') {
+		t.Fatalf("double escaping detected:\n%s", text)
+	}
+	// Every line still parses as name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1") && !strings.HasSuffix(line, " 2") {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}

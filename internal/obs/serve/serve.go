@@ -1,0 +1,224 @@
+// Package serve is the live telemetry service over internal/obs: a
+// stdlib net/http server that exposes the metrics registry, the span
+// tracer and the structured event log while a simulation is running,
+// plus the runtime profiling endpoints of net/http/pprof. The -serve
+// flag of cmd/mmtag (and the long-running examples) lands here.
+//
+// Endpoints:
+//
+//	GET /metrics         Prometheus text exposition of the registry
+//	GET /metrics.json    obs.Snapshot as indented JSON
+//	GET /trace           finished spans (+ drop counter) as JSON
+//	GET /events          structured event log as JSON Lines
+//	GET /healthz         build info, uptime, run phase, store sizes
+//	GET /debug/pprof/…   the standard Go profiling suite
+//
+// Every handler reads the registry/log through their own locks, so
+// scraping is safe (and consistent per response) while simulations
+// record concurrently. The server itself reports into the registry
+// (serve_requests_total{path=…}) — scrapes are visible in the next
+// scrape.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
+)
+
+// PrometheusContentType is the content type of GET /metrics, per the
+// Prometheus text exposition format v0.0.4.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Server answers telemetry queries against one registry + event log.
+// Either store may be nil; the matching endpoints then serve an empty
+// (but well-formed) body.
+type Server struct {
+	reg   *obs.Registry
+	log   *event.Log
+	start time.Time
+	phase atomic.Value // string: what the process is currently doing
+}
+
+// New returns a Server over the given stores (either may be nil).
+func New(reg *obs.Registry, log *event.Log) *Server {
+	s := &Server{reg: reg, log: log, start: time.Now()}
+	s.phase.Store("idle")
+	return s
+}
+
+// SetPhase records what the process is doing right now ("ber", "arq",
+// "done"); /healthz reports it so a watcher can follow a long sweep.
+func (s *Server) SetPhase(p string) { s.phase.Store(p) }
+
+// Phase returns the current run phase.
+func (s *Server) Phase() string { return s.phase.Load().(string) }
+
+// Health is the /healthz response body.
+type Health struct {
+	Status    string  `json:"status"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	PID       int     `json:"pid"`
+	UptimeS   float64 `json:"uptime_s"`
+	Phase     string  `json:"phase"`
+	// MetricSeries / Spans / Events size the three stores (−1 = store
+	// not attached).
+	MetricSeries int `json:"metric_series"`
+	Spans        int `json:"spans"`
+	Events       int `json:"events"`
+	// DroppedSpans / DroppedEvents flag truncated stores.
+	DroppedSpans  uint64 `json:"dropped_spans"`
+	DroppedEvents uint64 `json:"dropped_events"`
+}
+
+// health assembles the current Health.
+func (s *Server) health() Health {
+	h := Health{
+		Status:       "ok",
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		PID:          os.Getpid(),
+		UptimeS:      time.Since(s.start).Seconds(),
+		Phase:        s.Phase(),
+		MetricSeries: -1,
+		Spans:        -1,
+		Events:       -1,
+	}
+	if s.reg != nil {
+		snap := s.reg.Snapshot()
+		h.MetricSeries = snap.SeriesCount()
+		h.Spans = len(snap.Spans)
+		h.DroppedSpans = snap.DroppedSpans
+	}
+	if s.log != nil {
+		h.Events = s.log.Len()
+		h.DroppedEvents, _ = s.log.Dropped()
+	}
+	return h
+}
+
+// count records one scrape into the registry (when one is attached).
+func (s *Server) count(path string) {
+	if s.reg != nil {
+		s.reg.Add("serve_requests_total", 1, obs.L("path", path))
+	}
+}
+
+// Handler returns the telemetry mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/metrics")
+		w.Header().Set("Content-Type", PrometheusContentType)
+		if s.reg != nil {
+			fmt.Fprint(w, s.reg.PrometheusText())
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/metrics.json")
+		w.Header().Set("Content-Type", "application/json")
+		if s.reg == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		data, err := s.reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/trace")
+		w.Header().Set("Content-Type", "application/json")
+		payload := struct {
+			Spans        []obs.SpanRecord `json:"spans"`
+			DroppedSpans uint64           `json:"dropped_spans,omitempty"`
+		}{Spans: []obs.SpanRecord{}}
+		if s.reg != nil {
+			payload.Spans, payload.DroppedSpans = s.reg.Spans()
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/events")
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if s.log != nil {
+			s.log.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/healthz")
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(s.health(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	// The pprof suite, mounted explicitly rather than via the package's
+	// DefaultServeMux side effect: Index also serves the named lookup
+	// profiles (heap, goroutine, block, mutex, allocs, threadcreate).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s.count("/")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "mmtag telemetry\n\n"+
+			"  /metrics        Prometheus text format\n"+
+			"  /metrics.json   JSON metrics snapshot\n"+
+			"  /trace          span trace (JSON)\n"+
+			"  /events         structured event log (JSONL)\n"+
+			"  /healthz        liveness + run phase\n"+
+			"  /debug/pprof/   Go profiling suite\n")
+	})
+	return mux
+}
+
+// Running is a started telemetry server.
+type Running struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (r *Running) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the listener and the server.
+func (r *Running) Close() error { return r.srv.Close() }
+
+// Start binds addr (host:port; empty host binds all interfaces, port 0
+// picks a free port) and serves the telemetry mux on a background
+// goroutine until Close.
+func (s *Server) Start(addr string) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return &Running{ln: ln, srv: srv}, nil
+}

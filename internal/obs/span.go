@@ -81,6 +81,12 @@ func (s *Span) EndAt(at float64) {
 	if s == nil {
 		return
 	}
+	if at < s.start {
+		// An end before the start (a virtual-clock caller mixing time
+		// bases) would record a negative duration; clamp to a zero-length
+		// span at the start instead.
+		at = s.start
+	}
 	rec := SpanRecord{
 		ID:       s.id,
 		ParentID: s.parent,

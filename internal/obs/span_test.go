@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSetMaxSpansTruncationAccounting: once the finished-span buffer
+// fills, every further End increments the drop counter and the kept
+// records are exactly the first maxSpans, in completion order.
+func TestSetMaxSpansTruncationAccounting(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSpans(3)
+	for i := 0; i < 7; i++ {
+		sp := r.StartSpanAt(fmt.Sprintf("op%d", i), float64(i))
+		sp.EndAt(float64(i) + 0.5)
+	}
+	spans, dropped := r.Spans()
+	if len(spans) != 3 || dropped != 4 {
+		t.Fatalf("kept %d spans with %d dropped, want 3 kept / 4 dropped", len(spans), dropped)
+	}
+	for i, sp := range spans {
+		if sp.Name != fmt.Sprintf("op%d", i) {
+			t.Fatalf("span %d is %q — truncation must keep the earliest spans", i, sp.Name)
+		}
+	}
+	// The snapshot carries the same accounting.
+	snap := r.Snapshot()
+	if len(snap.Spans) != 3 || snap.DroppedSpans != 4 {
+		t.Fatalf("snapshot: %d spans, %d dropped", len(snap.Spans), snap.DroppedSpans)
+	}
+	// SetMaxSpans(0) keeps the current bound rather than unbounding it.
+	r.SetMaxSpans(0)
+	r.StartSpanAt("late", 100).EndAt(101)
+	if spans, dropped = r.Spans(); len(spans) != 3 || dropped != 5 {
+		t.Fatalf("after SetMaxSpans(0): %d spans, %d dropped", len(spans), dropped)
+	}
+}
+
+// TestEndAtBeforeStart: an end time earlier than the start (a caller
+// mixing wall and virtual clocks) must not record a negative duration.
+func TestEndAtBeforeStart(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpanAt("backwards", 10)
+	sp.EndAt(4)
+	spans, _ := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	rec := spans[0]
+	if rec.DurS < 0 {
+		t.Fatalf("negative duration recorded: %+v", rec)
+	}
+	if rec.StartS != 10 || rec.EndS != 10 || rec.DurS != 0 {
+		t.Fatalf("want zero-length span clamped at start: %+v", rec)
+	}
+}
+
+// TestConcurrentSpansAndReads hammers StartSpan/End from many
+// goroutines while others snapshot the buffer — the -race coverage for
+// the span path the telemetry server reads while simulations run.
+func TestConcurrentSpansAndReads(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSpans(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := r.StartSpanAt("work", float64(i))
+				sp.SetAttr("w", fmt.Sprintf("%d", w))
+				child := sp.StartChildAt("inner", float64(i))
+				child.EndAt(float64(i) + 0.1)
+				sp.EndAt(float64(i) + 0.2)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				spans, _ := r.Spans()
+				for _, sp := range spans {
+					if sp.DurS < 0 {
+						t.Error("negative duration observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	spans, dropped := r.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("kept %d spans, want the 64-span bound", len(spans))
+	}
+	// 4 workers × 200 iterations × 2 spans = 1600 ends total.
+	if got := uint64(len(spans)) + dropped; got != 1600 {
+		t.Fatalf("kept+dropped = %d, want 1600", got)
+	}
+}

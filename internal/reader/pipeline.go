@@ -9,6 +9,7 @@ import (
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/phy"
 )
 
@@ -133,6 +134,10 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	}
 	stats.PreambleMetric = metric
 	obs.Observe("reader_preamble_metric", metric)
+	if event.Enabled() {
+		event.Emit(0, event.LevelDebug, "reader.demod", "sync",
+			event.F("metric", metric), event.D("start", start))
+	}
 
 	decide := span.StartChild("reader.decide")
 	headerSyms := frame.HeaderLen * 8
@@ -212,6 +217,11 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 		}
 	}
 	decide.End()
+	if event.Enabled() {
+		event.Emit(0, event.LevelDebug, "reader.demod", "decide",
+			event.S("mcs", hdr.MCS.String()),
+			event.F("threshold", stats.Threshold), event.F("snr_db", stats.SNRdBEst))
+	}
 
 	deframe := span.StartChild("reader.deframe")
 	defer deframe.End()

@@ -14,6 +14,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
 )
 
 // ErrEventLimit reports that Engine.Run stopped because the runaway
@@ -115,6 +116,10 @@ func (e *Engine) Run(until float64) (int, error) {
 		obs.Set("sim_queue_depth", float64(len(e.queue)))
 		span.SetAttr("events", fmt.Sprintf("%d", count))
 		span.EndAt(e.now)
+		if event.Enabled() {
+			event.Emit(e.now, event.LevelDebug, "sim.engine", "run_complete",
+				event.D("events", count), event.D("pending", len(e.queue)))
+		}
 	}()
 	for len(e.queue) > 0 {
 		next := e.queue[0]
@@ -123,6 +128,10 @@ func (e *Engine) Run(until float64) (int, error) {
 		}
 		if count >= limit {
 			obs.Inc("sim_event_limit_trips_total")
+			if event.Enabled() {
+				event.Emit(e.now, event.LevelWarn, "sim.engine", "event_limit",
+					event.D("limit", limit))
+			}
 			return count, fmt.Errorf("%w: %d events (runaway schedule?)", ErrEventLimit, limit)
 		}
 		heap.Pop(&e.queue)

@@ -29,6 +29,9 @@ import (
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/manifest"
+	"github.com/mmtag/mmtag/internal/obs/serve"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -98,6 +101,17 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// Span is one timed operation in the tracer (nil = disabled no-op).
 	Span = obs.Span
+	// EventLog is the structured, ring-buffered event log; see Events.
+	EventLog = event.Log
+	// RunManifest is the manifest.json body a run directory carries.
+	RunManifest = manifest.Manifest
+	// RunInfo describes a run for WriteRunDir.
+	RunInfo = manifest.RunInfo
+	// TelemetryServer answers live /metrics, /trace, /events, /healthz
+	// and /debug/pprof/ queries; see ServeTelemetry.
+	TelemetryServer = serve.Server
+	// RunningTelemetry is a started telemetry listener (Close to stop).
+	RunningTelemetry = serve.Running
 )
 
 // Metrics returns the process-wide observability registry, enabling
@@ -124,6 +138,50 @@ func Snapshot() MetricsSnapshot { return Metrics().Snapshot() }
 // MetricsText renders the current registry in the Prometheus text
 // exposition format, enabling collection if needed.
 func MetricsText() string { return Metrics().PrometheusText() }
+
+// Events returns the process-wide structured event log, enabling
+// collection on first call. Until then (and after DisableEvents) every
+// event site in the simulation is a no-op. The log's JSONL exposition is
+// byte-identical for any worker count (see DESIGN.md §7).
+func Events() *EventLog {
+	if l := event.Active(); l != nil {
+		return l
+	}
+	return event.Enable(0)
+}
+
+// EventsEnabled reports whether event collection is on.
+func EventsEnabled() bool { return event.Enabled() }
+
+// DisableEvents turns event collection back off; the previous log (and
+// its entries) is dropped.
+func DisableEvents() { event.Disable() }
+
+// ServeTelemetry starts the live telemetry HTTP server on addr (":0"
+// picks a free port), enabling metrics and event collection if needed.
+// It serves /metrics, /metrics.json, /trace, /events, /healthz and
+// /debug/pprof/ until Close, reading concurrently with any running
+// simulation. The returned server's SetPhase labels /healthz.
+func ServeTelemetry(addr string) (*TelemetryServer, *RunningTelemetry, error) {
+	s := serve.New(Metrics(), Events())
+	run, err := s.Start(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, run, nil
+}
+
+// WriteRunDir captures the active metrics registry and event log (either
+// may be disabled) into dir as a self-describing run manifest:
+// manifest.json, metrics.json, trace.json and events.jsonl, with SHA-256
+// digests of every artifact recorded in the manifest.
+func WriteRunDir(dir string, info RunInfo) (RunManifest, error) {
+	return manifest.Write(dir, info, obs.Active(), event.Active())
+}
+
+// VerifyRunDir re-hashes every artifact a run directory's manifest lists
+// and reports the first digest mismatch.
+func VerifyRunDir(dir string) error { return manifest.Verify(dir) }
 
 // NewTrace returns a trace with the given column names.
 func NewTrace(cols ...string) *Trace { return sim.NewTrace(cols...) }

@@ -13,7 +13,14 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_2.json -fresh fresh.json [-tolerance 0.20]
-//	          [-require-speedup 2.0] [-speedup-min-cpus 4]
+//	          [-require-speedup 2.0] [-speedup-min-cpus 4] [-allow-missing]
+//
+// Both mmtag-bench/2 (parallel sweeps) and mmtag-bench/3 (event-log
+// overhead) files are accepted; the two files must share a schema.
+// Pass -require-speedup 0 for files that make no parallel-speedup claim
+// (BENCH_3.json), and -allow-missing to tolerate benchmarks present in
+// the baseline but absent from the fresh run (e.g. a baseline generated
+// by a newer tree).
 package main
 
 import (
@@ -49,8 +56,10 @@ func load(path string) (benchFile, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return f, fmt.Errorf("%s: %w", path, err)
 	}
-	if f.Schema != "mmtag-bench/2" {
-		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/2", path, f.Schema)
+	switch f.Schema {
+	case "mmtag-bench/2", "mmtag-bench/3":
+	default:
+		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/2 or mmtag-bench/3", path, f.Schema)
 	}
 	return f, nil
 }
@@ -68,8 +77,9 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_2.json", "committed baseline benchmark file")
 	freshPath := flag.String("fresh", "", "freshly generated benchmark file to gate")
 	tolerance := flag.Float64("tolerance", 0.20, "maximum allowed fractional ns/op regression per benchmark")
-	requireSpeedup := flag.Float64("require-speedup", 2.0, "minimum Monte-Carlo speedup at 4+ workers")
+	requireSpeedup := flag.Float64("require-speedup", 2.0, "minimum Monte-Carlo speedup at 4+ workers; <= 0 skips the speedup assertion")
 	speedupMinCPUs := flag.Int("speedup-min-cpus", 4, "only assert the speedup when the fresh run had at least this many CPUs")
+	allowMissing := flag.Bool("allow-missing", false, "warn instead of fail when a baseline benchmark is missing from the fresh run")
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
@@ -83,6 +93,10 @@ func main() {
 	fresh, err := load(*freshPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if base.Schema != fresh.Schema {
+		fmt.Fprintf(os.Stderr, "benchgate: schema mismatch: baseline %s, fresh %s\n", base.Schema, fresh.Schema)
 		os.Exit(2)
 	}
 
@@ -106,8 +120,12 @@ func main() {
 		}
 		f, ok := fresh.lookup(b.Name)
 		if !ok {
-			fmt.Printf("%-34s %14.0f %14s %9s  FAIL (missing from fresh run)\n", b.Name, b.NsPerOp, "-", "-")
-			failed = true
+			if *allowMissing {
+				fmt.Printf("%-34s %14.0f %14s %9s  skipped (missing from fresh run)\n", b.Name, b.NsPerOp, "-", "-")
+			} else {
+				fmt.Printf("%-34s %14.0f %14s %9s  FAIL (missing from fresh run)\n", b.Name, b.NsPerOp, "-", "-")
+				failed = true
+			}
 			continue
 		}
 		allowed := b.NsPerOp * scale
@@ -121,8 +139,11 @@ func main() {
 	}
 
 	// The parallel payoff the PR exists for: ≥2× Monte-Carlo speedup at
-	// 4+ workers, asserted only where the hardware can express it.
-	if fresh.NumCPU >= *speedupMinCPUs {
+	// 4+ workers, asserted only where the hardware can express it and
+	// only for files that make the claim (-require-speedup > 0).
+	if *requireSpeedup <= 0 {
+		fmt.Println("speedup: assertion disabled (-require-speedup <= 0)")
+	} else if fresh.NumCPU >= *speedupMinCPUs {
 		best := fresh.MCSpeedup4W
 		if fresh.MCSpeedupMax > best {
 			best = fresh.MCSpeedupMax
