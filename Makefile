@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-gate bench-gate3 vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-gate bench-gate3 bench-gate4 vet fmt experiments figures clean
 
 all: build test
 
@@ -40,6 +40,12 @@ BENCH3_OUT ?= $(CURDIR)/BENCH_3.json
 bench-json3:
 	MMTAG_BENCH3_JSON=$(BENCH3_OUT) $(GO) test -run 'TestWriteBenchJSON3' -v .
 
+# Machine-readable zero-allocation hot-path benchmarks (BENCH_4.json):
+# workspace-backed burst/modem/FFT/FIR figures with allocs/op recorded.
+BENCH4_OUT ?= $(CURDIR)/BENCH_4.json
+bench-json4:
+	MMTAG_BENCH4_JSON=$(BENCH4_OUT) $(GO) test -run 'TestWriteBenchJSON4' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
@@ -49,6 +55,12 @@ bench-gate:
 bench-gate3:
 	$(MAKE) bench-json3 BENCH3_OUT=/tmp/mmtag_bench3_fresh.json
 	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_3.json -fresh /tmp/mmtag_bench3_fresh.json -require-speedup 0
+
+# Zero-allocation gate: ns/op is machine-scaled via the calibration
+# benchmark, allocs/op is compared raw (it is machine-independent).
+bench-gate4:
+	$(MAKE) bench-json4 BENCH4_OUT=/tmp/mmtag_bench4_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_4.json -fresh /tmp/mmtag_bench4_fresh.json -require-speedup 0 -require-sweep-speedup 1.0
 
 vet:
 	$(GO) vet ./...

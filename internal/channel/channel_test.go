@@ -190,3 +190,9 @@ func TestZeroDistance(t *testing.T) {
 		t.Error("coincident endpoints should yield no rays")
 	}
 }
+
+func TestRayKindString(t *testing.T) {
+	if LOS.String() != "LOS" || NLOS.String() != "NLOS" {
+		t.Fatalf("RayKind names: %q %q", LOS.String(), NLOS.String())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math/cmplx"
 
 	"github.com/mmtag/mmtag/internal/channel"
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/obs"
@@ -209,6 +210,12 @@ func (l *Link) RunWaveform(payload []byte, bw units.ReaderBandwidth, src *rng.So
 	return l.RunWaveformMCS(payload, frame.MCSOOK, bw, src)
 }
 
+// RunWaveformWS is RunWaveform drawing every sample buffer from ws (see
+// RunWaveformMCSWS).
+func (l *Link) RunWaveformWS(ws *dsp.Workspace, payload []byte, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
+	return l.RunWaveformMCSWS(ws, payload, frame.MCSOOK, bw, src)
+}
+
 // Capture is a synthesized receiver capture: the raw complex-baseband
 // samples a reader front end would hand to its DSP, plus the metadata
 // needed to decode them. It can be persisted with the iqfile package.
@@ -228,6 +235,14 @@ type Capture struct {
 // fading, TX leakage, receiver noise, and the pre-burst leakage
 // calibration. RunWaveformMCS = CaptureWaveform + reader.DecodeBurst.
 func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (Capture, error) {
+	return l.CaptureWaveformWS(nil, payload, mcs, bw, src)
+}
+
+// CaptureWaveformWS is CaptureWaveform drawing the symbol, waveform and
+// capture buffers from ws. The returned Capture.Samples reference ws
+// memory: they are valid until the next ws.Reset. A nil ws allocates,
+// which is exactly CaptureWaveform.
+func (l *Link) CaptureWaveformWS(ws *dsp.Workspace, payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (Capture, error) {
 	var cap Capture
 	// Labels are only materialized when a registry is installed so the
 	// disabled path stays allocation-free (see BENCH_1.json).
@@ -247,7 +262,7 @@ func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBan
 	}
 
 	// Tag side: frame + symbols at the operating point.
-	syms, err := l.Tag.BurstMCS(payload, mcs, b.TagBearingRad, l.Reader.FreqHz)
+	syms, err := l.Tag.BurstMCSWS(ws, payload, mcs, b.TagBearingRad, l.Reader.FreqHz)
 	if err != nil {
 		return cap, err
 	}
@@ -255,14 +270,14 @@ func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBan
 	if err != nil {
 		return cap, err
 	}
-	tx := w.Synthesize(syms)
+	tx := w.SynthesizeWS(ws, syms)
 
 	// Scale: a '0' symbol (amplitude 1) arrives at the reader with power
 	// b.ReceivedDBm. Work in √W amplitudes.
 	amp := math.Sqrt(units.DBmToWatts(b.ReceivedDBm))
 	carrier := cmplx.Rect(amp, -0.4) // deterministic unknown carrier phase
 	rxLen := len(tx) + 40*SamplesPerSymbol
-	rx := make([]complex128, rxLen)
+	rx := ws.Complex(rxLen)
 	lead := 16 * SamplesPerSymbol
 	for i, v := range tx {
 		rx[lead+i] = v * carrier
@@ -316,6 +331,18 @@ func (l *Link) CaptureWaveform(payload []byte, mcs frame.MCS, bw units.ReaderBan
 // the receiver bandwidth, so 4-ASK doubles the bit rate at the cost of a
 // tighter SNR requirement.
 func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
+	return l.RunWaveformMCSWS(nil, payload, mcs, bw, src)
+}
+
+// RunWaveformMCSWS is RunWaveformMCS with a caller-owned workspace: the
+// capture and the whole decode pipeline draw their buffers from ws, so
+// repeated bursts on one goroutine allocate nothing in steady state. The
+// workspace is Reset at entry — this call owns the frame — and the
+// returned result copies the decoded payload out, so nothing in
+// WaveformResult references ws memory. A nil ws allocates, which is
+// exactly RunWaveformMCS.
+func (l *Link) RunWaveformMCSWS(ws *dsp.Workspace, payload []byte, mcs frame.MCS, bw units.ReaderBandwidth, src *rng.Source) (WaveformResult, error) {
+	ws.Reset()
 	var res WaveformResult
 	enabled := obs.Enabled()
 	var span *obs.Span
@@ -324,7 +351,7 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 		obs.Inc("core_bursts_attempted_total", obs.L("bw", bw.Label))
 	}
 	defer span.End()
-	cap, err := l.CaptureWaveform(payload, mcs, bw, src)
+	cap, err := l.CaptureWaveformWS(ws, payload, mcs, bw, src)
 	res.Budget = cap.Budget
 	if err != nil {
 		return res, err
@@ -335,7 +362,7 @@ func (l *Link) RunWaveformMCS(payload []byte, mcs frame.MCS, bw units.ReaderBand
 		return res, err
 	}
 	rx := cap.Samples
-	dec, stats, err := reader.DecodeBurst(rx, w)
+	dec, stats, err := reader.DecodeBurstWS(ws, rx, w)
 	if err != nil {
 		// Failure to decode is a measurement outcome, not an API error:
 		// report every payload bit as lost.

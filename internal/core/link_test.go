@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"github.com/mmtag/mmtag/internal/channel"
+	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
@@ -212,5 +214,89 @@ func TestWaveformSeveredEnvironment(t *testing.T) {
 	src := rng.New(1)
 	if _, err := l.RunWaveform([]byte("x"), l.Reader.Bandwidths[2], src); err == nil {
 		t.Error("severed link should error")
+	}
+}
+
+// TestRunWaveformWSMatchesAllocating: bursts drawn through a reused
+// workspace must be result-identical to the allocating path at the same
+// seed, burst after burst (the workspace only moves buffers, never math).
+func TestRunWaveformWSMatchesAllocating(t *testing.T) {
+	l, _ := NewDefaultLink(units.FeetToMeters(3))
+	payload := []byte("workspace burst")
+	bw := l.Reader.Bandwidths[2]
+	ws := dsp.NewWorkspace()
+	for seed := uint64(1); seed <= 3; seed++ {
+		want, err := l.RunWaveform(payload, bw, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.RunWaveformWS(ws, payload, bw, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Decoded != want.Decoded || got.TagID != want.TagID ||
+			got.BitErrors != want.BitErrors || got.TotalBits != want.TotalBits ||
+			got.MeasuredSNRdB != want.MeasuredSNRdB || got.ExpectedSNRdB != want.ExpectedSNRdB {
+			t.Fatalf("seed %d: WS result %+v diverged from allocating %+v", seed, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("seed %d: WS payload %q, want %q", seed, got.Payload, want.Payload)
+		}
+	}
+}
+
+// TestCaptureWaveformAllocatingWrapper: the nil-workspace wrapper must
+// produce the same capture as the WS path at the same seed.
+func TestCaptureWaveformAllocatingWrapper(t *testing.T) {
+	l, _ := NewDefaultLink(units.FeetToMeters(3))
+	payload := []byte("capture")
+	bw := l.Reader.Bandwidths[2]
+	cap1, err := l.CaptureWaveform(payload, frame.MCSOOK, bw, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := dsp.NewWorkspace()
+	cap2, err := l.CaptureWaveformWS(ws, payload, frame.MCSOOK, bw, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap1.Samples) != len(cap2.Samples) || cap1.SampleRateHz != cap2.SampleRateHz ||
+		cap1.BandwidthLabel != cap2.BandwidthLabel {
+		t.Fatalf("capture metadata diverged: %+v vs %+v", cap1, cap2)
+	}
+	for i := range cap1.Samples {
+		if cap1.Samples[i] != cap2.Samples[i] {
+			t.Fatalf("sample %d: %v vs %v", i, cap1.Samples[i], cap2.Samples[i])
+		}
+	}
+}
+
+// TestValidateRejectsMissingParts: each nil component of a Link fails
+// validation with a specific error.
+func TestValidateRejectsMissingParts(t *testing.T) {
+	mk := func() *Link {
+		l, err := NewDefaultLink(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("default link invalid: %v", err)
+	}
+	l := mk()
+	l.Antenna = nil
+	if err := l.Validate(); err == nil {
+		t.Error("nil antenna accepted")
+	}
+	l = mk()
+	l.Tag = nil
+	if err := l.Validate(); err == nil {
+		t.Error("nil tag accepted")
+	}
+	l = mk()
+	l.Env = nil
+	if err := l.Validate(); err == nil {
+		t.Error("nil environment accepted")
 	}
 }

@@ -115,45 +115,13 @@ func radix2(x []complex128, inverse bool) {
 }
 
 // bluestein computes an arbitrary-length DFT as a convolution, using
-// power-of-two FFTs internally.
+// power-of-two FFTs internally. This is the allocating compatibility
+// path: it builds a throwaway plan per call. Workspace FFTs cache the
+// plan per (length, direction) instead — same arithmetic, zero
+// steady-state allocations, and one radix-2 pass fewer (the kernel FFT
+// is precomputed).
 func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w_k = exp(sign·jπk²/n). Reduce k² mod 2n to keep the angle
-	// argument small and the chirp numerically exact for large n.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := NextPowerOfTwo(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * chirp[k]
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
-		}
-	}
+	newFFTPlan(len(x), inverse).transform(x, inverse)
 }
 
 // FFTShift rotates a spectrum so the zero-frequency bin sits in the

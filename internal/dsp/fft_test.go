@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -177,5 +178,40 @@ func TestNextPowerOfTwo(t *testing.T) {
 		if got := NextPowerOfTwo(in); got != want {
 			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+// TestFFTInPlaceMatchesFFT: the exported in-place radix-2 entry points
+// must agree with the copying FFT/IFFT and reject non-power-of-two
+// lengths by panicking.
+func TestFFTInPlaceMatchesFFT(t *testing.T) {
+	src := rand.New(rand.NewSource(5))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(src.NormFloat64(), src.NormFloat64())
+	}
+	want := FFT(x)
+	got := append([]complex128{}, x...)
+	FFTInPlace(got)
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("FFTInPlace bin %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	IFFTInPlace(got)
+	for i := range got {
+		if cmplx.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("IFFTInPlace round trip sample %d: %v, want %v", i, got[i], x[i])
+		}
+	}
+	for _, fn := range []func([]complex128){FFTInPlace, IFFTInPlace} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("in-place transform accepted a non-power-of-two length")
+				}
+			}()
+			fn(make([]complex128, 12))
+		}()
 	}
 }

@@ -372,3 +372,49 @@ func TestKaiserBetaZeroIsRect(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFIRTapsReturnsCopy(t *testing.T) {
+	taps, err := DesignLowpass(0.25, 7, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFIR(taps)
+	got := f.Taps()
+	if len(got) != len(taps) {
+		t.Fatalf("len %d, want %d", len(got), len(taps))
+	}
+	got[0] = 1e9 // mutating the copy must not corrupt the filter
+	again := f.Taps()
+	if again[0] == 1e9 {
+		t.Fatal("Taps returned interior state, not a copy")
+	}
+	for i := range again {
+		if again[i] != taps[i] {
+			t.Fatalf("tap %d = %g, want %g", i, again[i], taps[i])
+		}
+	}
+}
+
+func TestAGCDefaultsAndEdges(t *testing.T) {
+	// Zero Target/Alpha take the documented defaults; an all-zero block
+	// passes through untouched (no division by zero).
+	var a AGC
+	zero := make([]complex128, 8)
+	if got := a.Process(zero); &got[0] != &zero[0] {
+		t.Fatal("zero-power block must return the input slice")
+	}
+	x := []complex128{2, 2, 2, 2}
+	y := a.Process(x)
+	if p := Power(y); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("default target power: %g, want 1", p)
+	}
+	// Successive blocks converge via the smoothed estimate branch.
+	for i := 0; i < 4; i++ {
+		x2 := []complex128{3, 3, 3, 3}
+		a.Process(x2)
+	}
+	a.Reset()
+	if a.est != 0 {
+		t.Fatal("Reset did not clear the estimate")
+	}
+}

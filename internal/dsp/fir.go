@@ -70,6 +70,17 @@ func (f *FIR) Process(x []complex128) []complex128 {
 	return out
 }
 
+// ProcessInPlace filters a whole block in place and returns x (streaming
+// semantics, like Process, without the output allocation). Safe because
+// each output sample depends only on the delay line and the current
+// input, which ProcessSample consumes before the slot is overwritten.
+func (f *FIR) ProcessInPlace(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = f.ProcessSample(v)
+	}
+	return x
+}
+
 // GroupDelay returns the filter's nominal group delay in samples,
 // (len(taps)−1)/2, exact for the linear-phase designs produced here.
 func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }

@@ -79,14 +79,19 @@ func Delay(x []complex128, d int) []complex128 {
 // Conv returns the full linear convolution of x and h
 // (length len(x)+len(h)−1). For large inputs it switches to FFT-based
 // (overlap-free, single big transform) convolution.
-func Conv(x, h []complex128) []complex128 {
+func Conv(x, h []complex128) []complex128 { return ConvWS(nil, x, h) }
+
+// ConvWS is Conv with workspace-backed scratch and output: the returned
+// slice is owned by ws and valid until the next ws.Reset. A nil ws
+// allocates, which is exactly Conv.
+func ConvWS(ws *Workspace, x, h []complex128) []complex128 {
 	if len(x) == 0 || len(h) == 0 {
 		return nil
 	}
 	n := len(x) + len(h) - 1
 	// Direct convolution is cheaper for short kernels.
 	if len(h) <= 64 || len(x) <= 64 {
-		out := make([]complex128, n)
+		out := ws.Complex(n)
 		for i, xv := range x {
 			if xv == 0 {
 				continue
@@ -98,8 +103,8 @@ func Conv(x, h []complex128) []complex128 {
 		return out
 	}
 	m := NextPowerOfTwo(n)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
+	a := ws.Complex(m)
+	b := ws.Complex(m)
 	copy(a, x)
 	copy(b, h)
 	radix2(a, false)
@@ -168,12 +173,18 @@ func Normalize(x []complex128) []complex128 {
 // (output sample i averages x[max(0,i−w+1) … i]). Used as the simplest
 // OOK envelope smoother.
 func MovingAverage(x []complex128, w int) []complex128 {
+	return MovingAverageInto(make([]complex128, len(x)), x, w)
+}
+
+// MovingAverageInto writes the causal moving average of x into dst and
+// returns dst[:len(x)]. len(dst) must be ≥ len(x), and dst must not
+// alias x (the running sum re-reads x[i−w] after dst[i−w] is written).
+func MovingAverageInto(dst, x []complex128, w int) []complex128 {
+	dst = dst[:len(x)]
 	if w <= 1 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		return out
+		copy(dst, x)
+		return dst
 	}
-	out := make([]complex128, len(x))
 	var acc complex128
 	for i := range x {
 		acc += x[i]
@@ -184,18 +195,24 @@ func MovingAverage(x []complex128, w int) []complex128 {
 		if i+1 < w {
 			n = i + 1
 		}
-		out[i] = acc / complex(float64(n), 0)
+		dst[i] = acc / complex(float64(n), 0)
 	}
-	return out
+	return dst
 }
 
 // Magnitudes returns |x[i]| for every sample.
 func Magnitudes(x []complex128) []float64 {
-	out := make([]float64, len(x))
+	return MagnitudesInto(make([]float64, len(x)), x)
+}
+
+// MagnitudesInto writes |x[i]| into dst and returns dst[:len(x)].
+// len(dst) must be ≥ len(x).
+func MagnitudesInto(dst []float64, x []complex128) []float64 {
+	dst = dst[:len(x)]
 	for i, v := range x {
-		out[i] = cmplx.Abs(v)
+		dst[i] = cmplx.Abs(v)
 	}
-	return out
+	return dst
 }
 
 func min(a, b int) int {

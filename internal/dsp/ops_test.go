@@ -177,3 +177,30 @@ func TestMaxAbs(t *testing.T) {
 		t.Error("MaxAbs(nil) should be 0")
 	}
 }
+
+func TestScaleCComplexGain(t *testing.T) {
+	x := []complex128{1, 2i, -3}
+	got := ScaleC(x, 2i)
+	want := []complex128{2i, -4, -6i}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &x[0] {
+		t.Fatal("ScaleC must scale in place")
+	}
+}
+
+func TestDelayEdgeCases(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	// Negative delays clamp to zero (a pure copy).
+	if got := Delay(x, -2); got[0] != 1 || got[2] != 3 {
+		t.Fatalf("negative delay: %v", got)
+	}
+	// A delay past the end yields all zeros of the same length.
+	got := Delay(x, 5)
+	if len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("over-length delay: %v", got)
+	}
+}

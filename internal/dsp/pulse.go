@@ -117,14 +117,25 @@ func UpsampleImpulses(symbols []complex128, sps int) []complex128 {
 // compensates the pulse's group delay internally: output sample k·sps is
 // the center of symbol k.
 func ShapeSymbols(symbols []complex128, pulse []float64, sps int) []complex128 {
-	up := UpsampleImpulses(symbols, sps)
-	ph := make([]complex128, len(pulse))
+	return ShapeSymbolsWS(nil, symbols, pulse, sps)
+}
+
+// ShapeSymbolsWS is ShapeSymbols with every intermediate (impulse train,
+// complex pulse, convolution scratch) and the output checked out of ws.
+// The returned slice is valid until the next ws.Reset; a nil ws
+// allocates.
+func ShapeSymbolsWS(ws *Workspace, symbols []complex128, pulse []float64, sps int) []complex128 {
+	up := ws.Complex(len(symbols) * sps)
+	for i, s := range symbols {
+		up[i*sps] = s
+	}
+	ph := ws.Complex(len(pulse))
 	for i, v := range pulse {
 		ph[i] = complex(v, 0)
 	}
-	full := Conv(up, ph)
+	full := ConvWS(ws, up, ph)
 	delay := (len(pulse) - 1) / 2
-	out := make([]complex128, len(symbols)*sps)
+	out := ws.Complex(len(symbols) * sps)
 	for i := range out {
 		j := i + delay
 		if j < len(full) {

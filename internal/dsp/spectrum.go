@@ -11,21 +11,29 @@ import (
 // output has len(x) bins in natural FFT order; use FFTShift for plotting
 // order.
 func Periodogram(x []complex128, w Window) []float64 {
+	return PeriodogramWS(nil, x, w)
+}
+
+// PeriodogramWS is Periodogram with the window, FFT buffer and output
+// checked out of ws (and the FFT run through ws's cached plans for
+// non-power-of-two lengths). The returned slice is valid until the next
+// ws.Reset; a nil ws allocates.
+func PeriodogramWS(ws *Workspace, x []complex128, w Window) []float64 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	win := MakeWindow(w, n)
+	win := MakeWindowInto(ws.Float(n), w)
 	var u float64
 	for _, v := range win {
 		u += v * v
 	}
 	u /= float64(n)
-	buf := make([]complex128, n)
+	buf := ws.Complex(n)
 	copy(buf, x)
 	ApplyWindow(buf, win)
-	fftInPlace(buf, false)
-	out := make([]float64, n)
+	ws.fft(buf, false)
+	out := ws.Float(n)
 	scale := 1 / (float64(n) * float64(n) * u)
 	for i, v := range buf {
 		out[i] = (real(v)*real(v) + imag(v)*imag(v)) * scale

@@ -36,52 +36,61 @@ func (w Window) String() string {
 // default beta of 8.6 (≈ Blackman-like sidelobes); use KaiserWindow for an
 // explicit beta.
 func MakeWindow(w Window, n int) []float64 {
+	return MakeWindowInto(make([]float64, n), w)
+}
+
+// MakeWindowInto fills dst with the len(dst)-point window of the given
+// type and returns dst — the allocation-free form of MakeWindow.
+func MakeWindowInto(dst []float64, w Window) []float64 {
 	switch w {
 	case Hann:
-		return cosineWindow(n, 0.5, 0.5, 0)
+		return cosineWindowInto(dst, 0.5, 0.5, 0)
 	case Hamming:
-		return cosineWindow(n, 0.54, 0.46, 0)
+		return cosineWindowInto(dst, 0.54, 0.46, 0)
 	case Blackman:
-		return cosineWindow(n, 0.42, 0.5, 0.08)
+		return cosineWindowInto(dst, 0.42, 0.5, 0.08)
 	case Kaiser:
-		return KaiserWindow(n, 8.6)
+		return kaiserWindowInto(dst, 8.6)
 	default:
-		out := make([]float64, n)
-		for i := range out {
-			out[i] = 1
+		for i := range dst {
+			dst[i] = 1
 		}
-		return out
+		return dst
 	}
 }
 
-// cosineWindow evaluates a0 − a1·cos(2πi/(n−1)) + a2·cos(4πi/(n−1)).
-func cosineWindow(n int, a0, a1, a2 float64) []float64 {
-	out := make([]float64, n)
+// cosineWindowInto fills dst with a0 − a1·cos(2πi/(n−1)) + a2·cos(4πi/(n−1)).
+func cosineWindowInto(dst []float64, a0, a1, a2 float64) []float64 {
+	n := len(dst)
 	if n == 1 {
-		out[0] = 1
-		return out
+		dst[0] = 1
+		return dst
 	}
-	for i := range out {
+	for i := range dst {
 		x := 2 * math.Pi * float64(i) / float64(n-1)
-		out[i] = a0 - a1*math.Cos(x) + a2*math.Cos(2*x)
+		dst[i] = a0 - a1*math.Cos(x) + a2*math.Cos(2*x)
 	}
-	return out
+	return dst
 }
 
 // KaiserWindow returns an n-point Kaiser window with shape parameter beta.
 func KaiserWindow(n int, beta float64) []float64 {
-	out := make([]float64, n)
+	return kaiserWindowInto(make([]float64, n), beta)
+}
+
+func kaiserWindowInto(dst []float64, beta float64) []float64 {
+	n := len(dst)
 	if n == 1 {
-		out[0] = 1
-		return out
+		dst[0] = 1
+		return dst
 	}
 	den := besselI0(beta)
 	m := float64(n - 1)
-	for i := range out {
+	for i := range dst {
 		t := 2*float64(i)/m - 1
-		out[i] = besselI0(beta*math.Sqrt(1-t*t)) / den
+		dst[i] = besselI0(beta*math.Sqrt(1-t*t)) / den
 	}
-	return out
+	return dst
 }
 
 // besselI0 is the zeroth-order modified Bessel function of the first kind,

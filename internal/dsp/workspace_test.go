@@ -1,0 +1,351 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func floatNear(t *testing.T, got, want []float64, tol float64, msg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: index %d: got %v, want %v", msg, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWorkspaceCheckoutZeroed pins the make-equivalence contract: a
+// checked-out buffer is zeroed even when it recycles a dirtied buffer
+// from a previous frame, so nil-workspace wrappers and workspace paths
+// see identical initial contents.
+func TestWorkspaceCheckoutZeroed(t *testing.T) {
+	ws := NewWorkspace()
+	c := ws.Complex(16)
+	f := ws.Float(16)
+	bs := ws.Bytes(16)
+	for i := range c {
+		c[i] = complex(1, 2)
+		f[i] = 3
+		bs[i] = 4
+	}
+	ws.Reset()
+	for i, v := range ws.Complex(16) {
+		if v != 0 {
+			t.Fatalf("recycled complex[%d] = %v, want 0", i, v)
+		}
+	}
+	for i, v := range ws.Float(16) {
+		if v != 0 {
+			t.Fatalf("recycled float[%d] = %v, want 0", i, v)
+		}
+	}
+	for i, v := range ws.Bytes(16) {
+		if v != 0 {
+			t.Fatalf("recycled byte[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestWorkspaceRecyclesBackingArrays verifies Reset actually recycles:
+// the second frame's checkout reuses the first frame's backing array.
+func TestWorkspaceRecyclesBackingArrays(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Complex(64)
+	ws.Reset()
+	b := ws.Complex(64)
+	if &a[0] != &b[0] {
+		t.Fatal("Reset did not recycle the backing array")
+	}
+}
+
+// TestWorkspaceNilFallsBackToMake checks the nil-receiver compatibility
+// path used by every allocating wrapper.
+func TestWorkspaceNilFallsBackToMake(t *testing.T) {
+	var ws *Workspace
+	if got := ws.Complex(8); len(got) != 8 {
+		t.Fatalf("nil Complex length %d", len(got))
+	}
+	if got := ws.Float(8); len(got) != 8 {
+		t.Fatalf("nil Float length %d", len(got))
+	}
+	if got := ws.Bytes(8); len(got) != 8 {
+		t.Fatalf("nil Bytes length %d", len(got))
+	}
+	ws.Reset() // must not panic
+}
+
+// TestWorkspaceFFTMatchesPackageFFT pins the workspace transform to the
+// allocating package functions for power-of-two and Bluestein lengths,
+// forward and inverse: the plan-based path performs the identical
+// arithmetic, so the outputs must agree to rounding.
+func TestWorkspaceFFTMatchesPackageFFT(t *testing.T) {
+	ws := NewWorkspace()
+	for _, n := range []int{4, 16, 64, 3, 5, 12, 100, 241} {
+		x := testSignal(n)
+		want := FFT(x)
+		got := append([]complex128{}, x...)
+		ws.FFTInPlace(got)
+		complexNear(t, got, want, 1e-9, "forward")
+
+		wantInv := IFFT(x)
+		gotInv := append([]complex128{}, x...)
+		ws.IFFTInPlace(gotInv)
+		complexNear(t, gotInv, wantInv, 1e-9, "inverse")
+
+		// Round trip through the cached plans recovers the input.
+		rt := append([]complex128{}, x...)
+		ws.FFTInPlace(rt)
+		ws.IFFTInPlace(rt)
+		complexNear(t, rt, x, 1e-9, "round trip")
+	}
+}
+
+// TestPlanSurvivesReset: FFT plans are immutable length-keyed caches and
+// must not be dropped by the frame Reset.
+func TestPlanSurvivesReset(t *testing.T) {
+	ws := NewWorkspace()
+	x := testSignal(100)
+	ws.FFTInPlace(append([]complex128{}, x...))
+	p1 := ws.plan(100, false)
+	ws.Reset()
+	if p2 := ws.plan(100, false); p1 != p2 {
+		t.Fatal("plan was rebuilt after Reset")
+	}
+}
+
+// TestConvWSMatchesConv covers both ConvWS paths (direct for short
+// inputs, FFT overlap for long) against the allocating wrapper.
+func TestConvWSMatchesConv(t *testing.T) {
+	ws := NewWorkspace()
+	for _, sizes := range [][2]int{{8, 5}, {100, 65}, {130, 70}} {
+		x := testSignal(sizes[0])
+		h := testSignal(sizes[1])
+		want := Conv(x, h)
+		got := ConvWS(ws, x, h)
+		complexNear(t, got, want, 1e-9, "conv")
+		ws.Reset()
+	}
+}
+
+// TestShapeSymbolsWSMatchesShapeSymbols: the workspaced pulse shaper must
+// be sample-identical to the allocating one.
+func TestShapeSymbolsWSMatchesShapeSymbols(t *testing.T) {
+	ws := NewWorkspace()
+	pulse, err := RaisedCosine(0.35, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := testSignal(33)
+	want := ShapeSymbols(syms, pulse, 4)
+	got := ShapeSymbolsWS(ws, syms, pulse, 4)
+	complexNear(t, got, want, 0, "shape")
+	// Second frame over recycled buffers must still match.
+	ws.Reset()
+	got2 := ShapeSymbolsWS(ws, syms, pulse, 4)
+	complexNear(t, got2, want, 0, "shape after reset")
+}
+
+// TestPeriodogramWSMatchesPeriodogram covers power-of-two and Bluestein
+// FFT lengths through the workspace spectral path.
+func TestPeriodogramWSMatchesPeriodogram(t *testing.T) {
+	ws := NewWorkspace()
+	for _, n := range []int{64, 100} {
+		x := testSignal(n)
+		want := Periodogram(x, Hann)
+		got := PeriodogramWS(ws, x, Hann)
+		floatNear(t, got, want, 1e-12, "periodogram")
+		ws.Reset()
+	}
+	if got := PeriodogramWS(ws, nil, Hann); got != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}
+
+// TestMakeWindowIntoMatchesMakeWindow: the in-place window fill against
+// the allocating form for every window type.
+func TestMakeWindowIntoMatchesMakeWindow(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hann, Hamming, Blackman, Kaiser} {
+		want := MakeWindow(w, 33)
+		dst := make([]float64, 33)
+		for i := range dst {
+			dst[i] = math.NaN() // must be fully overwritten
+		}
+		got := MakeWindowInto(dst, w)
+		floatNear(t, got, want, 0, w.String())
+	}
+}
+
+// TestMovingAverageIntoMatchesMovingAverage pins the in-place moving
+// average (which must not alias its input — it re-reads x[i−w]) to the
+// allocating form.
+func TestMovingAverageIntoMatchesMovingAverage(t *testing.T) {
+	x := testSignal(50)
+	for _, w := range []int{1, 4, 7} {
+		want := MovingAverage(x, w)
+		got := MovingAverageInto(make([]complex128, len(x)), x, w)
+		complexNear(t, got, want, 0, "moving average")
+	}
+}
+
+// TestMagnitudesIntoMatchesMagnitudes pins the in-place magnitude fill.
+func TestMagnitudesIntoMatchesMagnitudes(t *testing.T) {
+	x := testSignal(40)
+	want := Magnitudes(x)
+	got := MagnitudesInto(make([]float64, len(x)), x)
+	floatNear(t, got, want, 0, "magnitudes")
+}
+
+// TestFIRProcessInPlaceMatchesProcess: filtering a block in place must
+// produce the same samples as the allocating block filter.
+func TestFIRProcessInPlaceMatchesProcess(t *testing.T) {
+	taps, err := DesignLowpass(0.2, 31, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testSignal(128)
+	ref := NewFIR(taps)
+	want := ref.Process(x)
+	f := NewFIR(taps)
+	got := f.ProcessInPlace(append([]complex128{}, x...))
+	complexNear(t, got, want, 0, "fir in place")
+}
+
+// TestSteadyStateAllocs is the alloc-regression tripwire the issue asks
+// for: once warmed, the workspace FFT paths (radix-2 and Bluestein), the
+// in-place FIR, and the Into-style kernels must not allocate at all.
+// A regression here fails plain `go test ./...` before the benchmark
+// gate ever runs.
+func TestSteadyStateAllocs(t *testing.T) {
+	ws := NewWorkspace()
+	pow2 := testSignal(1024)
+	blue := testSignal(1000)
+	// Warm the Bluestein plans (forward and inverse).
+	ws.FFTInPlace(blue)
+	ws.IFFTInPlace(blue)
+
+	if n := testing.AllocsPerRun(10, func() {
+		ws.FFTInPlace(pow2)
+		ws.IFFTInPlace(pow2)
+	}); n != 0 {
+		t.Errorf("radix-2 workspace FFT: %v allocs/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		ws.FFTInPlace(blue)
+		ws.IFFTInPlace(blue)
+	}); n != 0 {
+		t.Errorf("warmed Bluestein workspace FFT: %v allocs/run, want 0", n)
+	}
+
+	taps, err := DesignLowpass(0.25, 63, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir := NewFIR(taps)
+	block := testSignal(4096)
+	if n := testing.AllocsPerRun(10, func() {
+		fir.ProcessInPlace(block)
+	}); n != 0 {
+		t.Errorf("FIR.ProcessInPlace: %v allocs/run, want 0", n)
+	}
+
+	mags := make([]float64, 256)
+	avg := make([]complex128, 256)
+	src := testSignal(256)
+	if n := testing.AllocsPerRun(10, func() {
+		MagnitudesInto(mags, src)
+		MovingAverageInto(avg, src, 8)
+	}); n != 0 {
+		t.Errorf("Into kernels: %v allocs/run, want 0", n)
+	}
+
+	// Steady-state frame loop: after the first frame sizes the pools,
+	// checkout + Reset cycles are allocation-free.
+	ws2 := NewWorkspace()
+	frame := func() {
+		_ = ws2.Complex(512)
+		_ = ws2.Float(512)
+		_ = ws2.Bytes(512)
+		ws2.Reset()
+	}
+	frame()
+	if n := testing.AllocsPerRun(10, frame); n != 0 {
+		t.Errorf("workspace frame loop: %v allocs/run, want 0", n)
+	}
+}
+
+// TestDecimateOffsets covers the resample entry points' argument
+// validation and the offset semantics.
+func TestDecimateOffsets(t *testing.T) {
+	x := testSignal(10)
+	if _, err := Decimate(x, 0, 0); err == nil {
+		t.Fatal("factor 0 should fail")
+	}
+	if _, err := Decimate(x, 3, 3); err == nil {
+		t.Fatal("offset ≥ factor should fail")
+	}
+	if _, err := Decimate(x, 3, -1); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+	got, err := Decimate(x, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{x[1], x[4], x[7]}
+	complexNear(t, got, want, 0, "offset decimation")
+
+	if _, err := DecimateFiltered(x, 0); err == nil {
+		t.Fatal("filtered factor 0 should fail")
+	}
+	same, err := DecimateFiltered(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexNear(t, same, x, 0, "factor-1 decimation is a copy")
+	if &same[0] == &x[0] {
+		t.Fatal("factor-1 decimation must copy, not alias")
+	}
+
+	if _, err := Interpolate(x, 0); err == nil {
+		t.Fatal("interpolate factor 0 should fail")
+	}
+	up, err := Interpolate(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexNear(t, up, x, 0, "factor-1 interpolation is a copy")
+}
+
+// TestRootRaisedCosineUnitEnergy: the RRC pulse is normalized so its
+// matched-filter pair has unit gain at the symbol instant.
+func TestRootRaisedCosineUnitEnergy(t *testing.T) {
+	h, err := RootRaisedCosine(0.25, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e float64
+	for _, v := range h {
+		e += v * v
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Fatalf("RRC energy %v, want 1", e)
+	}
+	if _, err := RootRaisedCosine(1.5, 8, 6); err == nil {
+		t.Fatal("beta out of range should fail")
+	}
+	if _, err := RootRaisedCosine(0.25, 0, 6); err == nil {
+		t.Fatal("sps 0 should fail")
+	}
+}
+
+// TestApplyWindowShorterPrefix: mismatched lengths use the common
+// prefix and leave the tail untouched.
+func TestApplyWindowShorterPrefix(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	w := []float64{0.5, 0.25}
+	ApplyWindow(x, w)
+	want := []complex128{0.5, 0.25, 1, 1}
+	complexNear(t, x, want, 0, "prefix window")
+}

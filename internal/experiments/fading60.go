@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/channel"
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
@@ -37,6 +38,8 @@ type FadingResult struct {
 func FadingMargin(seed uint64) (FadingResult, error) {
 	var res FadingResult
 	payload := make([]byte, 24)
+	// One workspace reused by every fading-check burst across the sweep.
+	ws := dsp.NewWorkspace()
 	for _, k := range []float64{20, 12, 6, 0} {
 		src := rng.New(seed)
 		f := channel.Fading{KdB: k, DopplerHz: 200}
@@ -75,7 +78,7 @@ func FadingMargin(seed uint64) (FadingResult, error) {
 				return res, err
 			}
 			l.Fading = &channel.Fading{KdB: k, DopplerHz: 200}
-			r, err := l.RunWaveform(payload, l.Reader.Bandwidths[1], rng.New(seed+s))
+			r, err := l.RunWaveformWS(ws, payload, l.Reader.Bandwidths[1], rng.New(seed+s))
 			if err != nil {
 				return res, err
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -37,6 +38,9 @@ func SelfInterference(seed uint64) (SelfIntResult, error) {
 	var res SelfIntResult
 	payload := bytes.Repeat([]byte{0xA7}, 32)
 	res.MinWorkingIsolationDB = -1
+	// One workspace for the whole sweep: every burst recycles the previous
+	// isolation point's sample buffers.
+	ws := dsp.NewWorkspace()
 	for _, iso := range []float64{80, 70, 60, 50, 40, 30, 20} {
 		l, err := core.NewDefaultLink(units.FeetToMeters(4))
 		if err != nil {
@@ -45,7 +49,7 @@ func SelfInterference(seed uint64) (SelfIntResult, error) {
 		l.Reader.IsolationDB = iso
 		src := rng.New(seed)
 		bw := l.Reader.Bandwidths[1] // 200 MHz
-		r, err := l.RunWaveform(payload, bw, src)
+		r, err := l.RunWaveformWS(ws, payload, bw, src)
 		if err != nil {
 			return res, err
 		}

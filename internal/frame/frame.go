@@ -193,6 +193,13 @@ func CRC16(data []byte) uint16 {
 // Encode serializes a complete burst (header ‖ payload ‖ CRC) for the
 // given tag ID and MCS.
 func Encode(tagID uint16, mcs MCS, payload []byte) ([]byte, error) {
+	return AppendEncode(nil, tagID, mcs, payload)
+}
+
+// AppendEncode appends a complete burst (header ‖ payload ‖ CRC) to dst
+// and returns the extended slice — the allocation-free form of Encode
+// for callers with a reusable buffer.
+func AppendEncode(dst []byte, tagID uint16, mcs MCS, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return nil, fmt.Errorf("frame: payload %d exceeds max %d", len(payload), MaxPayload)
 	}
@@ -200,12 +207,14 @@ func Encode(tagID uint16, mcs MCS, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("frame: invalid MCS %d", mcs)
 	}
 	h := Header{Version: Version, TagID: tagID, Length: uint16(len(payload)), MCS: mcs}
-	out := make([]byte, HeaderLen+len(payload)+CRCLen)
-	h.encode(out)
-	copy(out[HeaderLen:], payload)
-	crc := CRC16(out[:HeaderLen+len(payload)])
-	binary.BigEndian.PutUint16(out[HeaderLen+len(payload):], crc)
-	return out, nil
+	start := len(dst)
+	var hb [HeaderLen]byte
+	h.encode(hb[:])
+	dst = append(dst, hb[:]...)
+	dst = append(dst, payload...)
+	crc := CRC16(dst[start:])
+	dst = append(dst, byte(crc>>8), byte(crc))
+	return dst, nil
 }
 
 // Decoded is a fully parsed burst.
@@ -269,20 +278,25 @@ func BitsFromBytes(dst []byte, data []byte) []byte {
 // BytesFromBits packs MSB-first bits back into bytes. len(bits) must be a
 // multiple of 8.
 func BytesFromBits(bits []byte) ([]byte, error) {
+	return AppendBytesFromBits(nil, bits)
+}
+
+// AppendBytesFromBits packs MSB-first bits into bytes appended to dst —
+// the allocation-free form of BytesFromBits.
+func AppendBytesFromBits(dst []byte, bits []byte) ([]byte, error) {
 	if len(bits)%8 != 0 {
 		return nil, fmt.Errorf("frame: bit count %d not a multiple of 8", len(bits))
 	}
-	out := make([]byte, len(bits)/8)
-	for i := range out {
+	for i := 0; i < len(bits); i += 8 {
 		var b byte
 		for j := 0; j < 8; j++ {
-			v := bits[i*8+j]
+			v := bits[i+j]
 			if v > 1 {
 				return nil, fmt.Errorf("frame: bit value %d", v)
 			}
 			b = b<<1 | v
 		}
-		out[i] = b
+		dst = append(dst, b)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -68,6 +69,15 @@ type ARQResult struct {
 // went. Every burst is a full synthesis + decode; the result is
 // deterministic for a fixed source.
 func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, src *rng.Source) (ARQResult, error) {
+	return RunARQWS(dsp.NewWorkspace(), l, bw, nFrames, cfg, src)
+}
+
+// RunARQWS is RunARQ with a caller-owned workspace: every burst in the
+// run draws its sample buffers from ws, so the per-burst allocations are
+// amortized across the whole exchange. Parallel sweeps pass their
+// worker's workspace; results are identical for any ws (including nil,
+// which allocates per burst).
+func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, src *rng.Source) (ARQResult, error) {
 	var res ARQResult
 	if nFrames <= 0 {
 		return res, fmt.Errorf("mac: need ≥ 1 frame")
@@ -90,6 +100,9 @@ func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, 
 	failures := 0
 	var runErr error
 	frameIdx, attempt := 0, 0
+	// One payload buffer for the whole run: RunWaveform does not retain
+	// it, and retransmissions reuse the frame's bytes unchanged.
+	payloadBuf := make([]byte, cfg.FrameBytes)
 	var payload []byte
 	var burst func(now float64)
 	burst = func(now float64) {
@@ -97,11 +110,11 @@ func RunARQ(l *core.Link, bw units.ReaderBandwidth, nFrames int, cfg ARQConfig, 
 			return
 		}
 		if attempt == 0 {
-			payload = src.Bytes(make([]byte, cfg.FrameBytes))
+			payload = src.Bytes(payloadBuf)
 			res.FramesOffered++
 		}
 		res.Transmissions++
-		r, err := l.RunWaveform(payload, bw, src)
+		r, err := l.RunWaveformWS(ws, payload, bw, src)
 		if err != nil {
 			runErr = err
 			return

@@ -27,8 +27,8 @@
 package event
 
 import (
-	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -81,6 +81,12 @@ type Log struct {
 	sampled  uint64            // events dropped by sampling
 	every    map[string]uint64 // per-category sampling period
 	minLevel Level
+	// enc and fieldBuf are per-log scratch reused by every Emit under mu:
+	// the line is encoded in place and only copied (exact size) when the
+	// event is actually retained, so sampled and dropped events cost no
+	// steady-state allocations at all.
+	enc      []byte
+	fieldBuf []obs.Label
 }
 
 // New returns an empty log. capacity <= 0 selects DefaultCapacity.
@@ -117,27 +123,59 @@ func (l *Log) SetSampling(cat string, every int) {
 
 // Emit records one event at virtual time t. Field keys are encoded in
 // sorted order so the line bytes are independent of call-site order.
+//
+// The line is rendered into the log's reusable scratch buffer; the only
+// per-event allocation in steady state is the exact-size copy of a line
+// that is actually kept. Events below the level filter, removed by
+// sampling, or dropped at capacity allocate nothing.
 func (l *Log) Emit(t float64, lvl Level, cat, msg string, fields ...obs.Label) {
-	line := Encode(t, lvl, cat, msg, fields...)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if lvl < l.minLevel {
 		return
 	}
-	if every, ok := l.every[cat]; ok {
-		h := fnv.New64a()
-		h.Write(line)
-		if h.Sum64()%every != 0 {
-			l.sampled++
-			return
-		}
-	}
-	if len(l.entries) >= l.capacity {
+	every, sampling := l.every[cat]
+	if !sampling && len(l.entries) >= l.capacity {
+		// The event is dropped whatever its bytes would be, so skip the
+		// encode entirely. (Sampled categories must still encode: the
+		// sampled/dropped split is a function of the line's hash.)
 		l.dropped++
 		return
 	}
+	l.fieldBuf = append(l.fieldBuf[:0], fields...)
+	sortLabels(l.fieldBuf)
+	l.enc = appendEvent(l.enc[:0], t, lvl, cat, msg, l.fieldBuf)
+	if sampling {
+		if fnv1a(l.enc)%every != 0 {
+			l.sampled++
+			return
+		}
+		if len(l.entries) >= l.capacity {
+			l.dropped++
+			return
+		}
+	}
+	line := make([]byte, len(l.enc))
+	copy(line, l.enc)
 	l.entries = append(l.entries, entry{t: t, line: line})
 	l.counts[cat]++
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined so the sampling decision does
+// not allocate a hash.Hash64 per event. It is bit-identical to
+// hash/fnv.New64a over the same bytes, which keeps historical sampling
+// decisions (and with them events.jsonl) unchanged.
+func fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
 }
 
 // Len returns the number of retained events.
@@ -223,7 +261,15 @@ func (l *Log) Reset() {
 // fields sorted by key. The encoding is hand-rolled so identical events
 // are identical bytes on every platform and Go version.
 func Encode(t float64, lvl Level, cat, msg string, fields ...obs.Label) []byte {
-	b := make([]byte, 0, 64+16*len(fields))
+	sorted := append([]obs.Label{}, fields...)
+	sortLabels(sorted)
+	return appendEvent(make([]byte, 0, 64+16*len(fields)), t, lvl, cat, msg, sorted)
+}
+
+// appendEvent renders one event into b, whose fields must already be
+// key-sorted. It is the shared body of Encode and the allocation-free
+// Emit path.
+func appendEvent(b []byte, t float64, lvl Level, cat, msg string, sorted []obs.Label) []byte {
 	b = append(b, `{"t":`...)
 	b = appendFloat(b, t)
 	b = append(b, `,"lvl":`...)
@@ -232,9 +278,7 @@ func Encode(t float64, lvl Level, cat, msg string, fields ...obs.Label) []byte {
 	b = strconv.AppendQuote(b, cat)
 	b = append(b, `,"msg":`...)
 	b = strconv.AppendQuote(b, msg)
-	if len(fields) > 0 {
-		sorted := append([]obs.Label{}, fields...)
-		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	if len(sorted) > 0 {
 		b = append(b, `,"fields":{`...)
 		for i, f := range sorted {
 			if i > 0 {
@@ -250,15 +294,25 @@ func Encode(t float64, lvl Level, cat, msg string, fields ...obs.Label) []byte {
 	return b
 }
 
-// appendFloat renders the timestamp; NaN/Inf (not valid JSON numbers)
-// are quoted.
-func appendFloat(b []byte, v float64) []byte {
-	s := strconv.FormatFloat(v, 'g', -1, 64)
-	switch s {
-	case "NaN", "+Inf", "-Inf", "Inf":
-		return strconv.AppendQuote(b, s)
+// sortLabels key-sorts labels in place with a stable insertion sort: the
+// field counts at event sites are tiny (≤ 6), and unlike sort.SliceStable
+// this never allocates, keeping Emit's hot path clean.
+func sortLabels(ls []obs.Label) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Key < ls[j-1].Key; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
 	}
-	return append(b, s...)
+}
+
+// appendFloat renders the timestamp; NaN/Inf (not valid JSON numbers)
+// are quoted. Finite values append in place (no intermediate string) so
+// the Emit hot path stays allocation-free.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.AppendQuote(b, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // F formats a float64 event field with %g — the shared helper event

@@ -3,6 +3,7 @@ package event
 import (
 	"bytes"
 	"encoding/json"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"strings"
@@ -132,6 +133,80 @@ func TestSamplingDeterministic(t *testing.T) {
 	}
 }
 
+// TestEmitStoresCanonicalBytes pins the reusable-scratch Emit path to
+// the package Encode function: retained lines must be byte-identical to
+// the allocating encoder (including field sorting), and must not alias
+// the log's scratch buffer across emits.
+func TestEmitStoresCanonicalBytes(t *testing.T) {
+	l := New(0)
+	l.Emit(1.5, LevelInfo, "c", "m", S("b", "2GHz"), D("a", 1))
+	l.Emit(2.5, LevelWarn, "c", "n", F("x", 0.25))
+	lines := l.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("len = %d", len(lines))
+	}
+	want0 := Encode(1.5, LevelInfo, "c", "m", D("a", 1), S("b", "2GHz"))
+	want1 := Encode(2.5, LevelWarn, "c", "n", F("x", 0.25))
+	if !bytes.Equal(lines[0], want0) {
+		t.Fatalf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	if !bytes.Equal(lines[1], want1) {
+		t.Fatalf("line 1 (scratch reuse corrupted earlier line?):\n got %s\nwant %s", lines[1], want1)
+	}
+}
+
+// TestFNV1AMatchesStdlib: the inlined sampling hash must agree with
+// hash/fnv.New64a bit for bit, or historical sampling decisions (and
+// events.jsonl) would silently change.
+func TestFNV1AMatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", `{"t":1,"lvl":"info","cat":"c","msg":"m"}`, "\x00\xff\x80"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := fnv1a([]byte(s)), h.Sum64(); got != want {
+			t.Fatalf("fnv1a(%q) = %x, want %x", s, got, want)
+		}
+	}
+}
+
+// TestEmitSteadyStateAllocs: level-filtered and capacity-dropped emits
+// must allocate nothing; kept emits only the retained line copy.
+func TestEmitSteadyStateAllocs(t *testing.T) {
+	filtered := New(0)
+	filtered.SetMinLevel(LevelWarn)
+	if n := testing.AllocsPerRun(10, func() {
+		filtered.Emit(0, LevelDebug, "c", "below-level", D("i", 1))
+	}); n != 0 {
+		t.Errorf("level-filtered emit: %v allocs/run, want 0", n)
+	}
+
+	full := New(1)
+	full.Emit(0, LevelInfo, "c", "fills-capacity")
+	if n := testing.AllocsPerRun(10, func() {
+		full.Emit(1, LevelInfo, "c", "dropped", D("i", 1))
+	}); n != 0 {
+		t.Errorf("capacity-dropped emit: %v allocs/run, want 0", n)
+	}
+
+	sampled := New(0)
+	sampled.SetSampling("hot", 1<<30)
+	sampled.Emit(3, LevelInfo, "hot", "probe", D("i", 7))
+	if sampled.Len() == 0 { // content is sampled out: steady path allocates nothing
+		if n := testing.AllocsPerRun(10, func() {
+			sampled.Emit(3, LevelInfo, "hot", "probe", D("i", 7))
+		}); n != 0 {
+			t.Errorf("sampled-out emit: %v allocs/run, want 0", n)
+		}
+	}
+
+	kept := New(0)
+	kept.Emit(0, LevelInfo, "c", "warm", D("i", 1))
+	if n := testing.AllocsPerRun(100, func() {
+		kept.Emit(1, LevelInfo, "c", "kept", D("i", 2))
+	}); n > 2 {
+		t.Errorf("kept emit: %v allocs/run, want ≤ 2 (line copy + amortized ring growth)", n)
+	}
+}
+
 func TestWriteJSONL(t *testing.T) {
 	l := New(0)
 	l.Emit(0.25, LevelWarn, "sim.engine", "event_limit", D("limit", 10))
@@ -234,5 +309,18 @@ func TestFieldHelpers(t *testing.T) {
 	}
 	if s := S("bw", "2GHz"); s != obs.L("bw", "2GHz") {
 		t.Fatalf("S: %+v", s)
+	}
+}
+
+func TestEnableWithInstallsExistingLog(t *testing.T) {
+	l := New(8)
+	EnableWith(l)
+	defer Disable()
+	if Active() != l {
+		t.Fatal("EnableWith did not install the log")
+	}
+	Emit(1, LevelInfo, "c", "via-package")
+	if l.Len() != 1 {
+		t.Fatalf("len = %d, want 1", l.Len())
 	}
 }

@@ -130,6 +130,44 @@ func ForEachErr(n int, fn func(i int) error) error { return DoErr(Workers(), n, 
 // flag can starve it, and "lowest recorded failure" is exactly "lowest
 // failing index" — independent of worker count and scheduling.
 func DoErr(workers, n int, fn func(i int) error) error {
+	return DoErrWith(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// ForEachWith is ForEach with per-worker state: newR runs once on each
+// worker goroutine (once total on the workers == 1 inline path) and its
+// result is handed to every fn call that worker executes. This is how
+// sweeps give each shard its own dsp.Workspace — reused across the items
+// a worker processes, never shared between goroutines. State must not
+// leak results between items in any order-dependent way; determinism
+// requires fn(r, i) to compute the same answer regardless of which
+// worker runs it after how many prior items (scratch buffers qualify,
+// accumulators do not).
+func ForEachWith[R any](n int, newR func() R, fn func(r R, i int)) {
+	DoWith(Workers(), n, newR, fn)
+}
+
+// DoWith is ForEachWith with an explicit worker count.
+func DoWith[R any](workers, n int, newR func() R, fn func(r R, i int)) {
+	err := DoErrWith(workers, n, newR, func(r R, i int) error {
+		fn(r, i)
+		return nil
+	})
+	if err != nil {
+		// fn cannot return an error, so the only possible failure is a
+		// propagated shard panic.
+		panic(err)
+	}
+}
+
+// ForEachErrWith is ForEachErr with per-worker state (see ForEachWith).
+func ForEachErrWith[R any](n int, newR func() R, fn func(r R, i int) error) error {
+	return DoErrWith(Workers(), n, newR, fn)
+}
+
+// DoErrWith is the generic core of the pool: DoErr with per-worker state
+// constructed by newR (see ForEachWith for the state contract).
+func DoErrWith[R any](workers, n int, newR func() R, fn func(r R, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -143,7 +181,7 @@ func DoErr(workers, n int, fn func(i int) error) error {
 		// Reference stream: the plain loop every worker count must
 		// reproduce. Runs on the caller's goroutine, aborts on first
 		// error like the pre-pool code did.
-		return forEachInline(n, fn)
+		return forEachInline(n, newR, fn)
 	}
 
 	rec := obs.Default()
@@ -170,7 +208,7 @@ func DoErr(workers, n int, fn func(i int) error) error {
 		}
 		mu.Unlock()
 	}
-	runShard := func(i int) {
+	runShard := func(r R, i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				record(i, &shardFailure{index: i, value: v})
@@ -183,7 +221,7 @@ func DoErr(workers, n int, fn func(i int) error) error {
 				rec.Add(MetricItems, 1)
 			}()
 		}
-		if err := fn(i); err != nil {
+		if err := fn(r, i); err != nil {
 			record(i, err)
 		}
 	}
@@ -191,6 +229,7 @@ func DoErr(workers, n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			r := newR()
 			for {
 				if stopped.Load() {
 					return
@@ -202,7 +241,7 @@ func DoErr(workers, n int, fn func(i int) error) error {
 				if enabled {
 					rec.Set(MetricQueueDepth, float64(n-i-1))
 				}
-				runShard(i)
+				runShard(r, i)
 			}
 		}()
 	}
@@ -220,20 +259,21 @@ func DoErr(workers, n int, fn func(i int) error) error {
 }
 
 // forEachInline is the workers == 1 path: a plain sequential loop on the
-// caller's goroutine.
-func forEachInline(n int, fn func(i int) error) error {
+// caller's goroutine with a single per-worker state instance.
+func forEachInline[R any](n int, newR func() R, fn func(r R, i int) error) error {
 	rec := obs.Default()
 	enabled := rec.Enabled()
 	if enabled {
 		rec.Add(MetricRuns, 1)
 		rec.Set(MetricWorkers, 1)
 	}
+	r := newR()
 	for i := 0; i < n; i++ {
 		var start time.Time
 		if enabled {
 			start = time.Now()
 		}
-		if err := fn(i); err != nil {
+		if err := fn(r, i); err != nil {
 			return err
 		}
 		if enabled {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -171,6 +172,103 @@ func TestSetWorkers(t *testing.T) {
 	}
 }
 
+// TestDoWithWorkerState checks the With-variants' per-worker state
+// contract: newR runs at most once per worker goroutine (exactly once on
+// the inline path), every shard receives its worker's value, and results
+// are identical across worker counts when the state is pure scratch.
+func TestDoWithWorkerState(t *testing.T) {
+	type scratch struct{ buf []float64 }
+	for _, w := range []int{1, 2, 4} {
+		var news atomic.Int64
+		const n = 23
+		out := make([]float64, n)
+		seq := rng.NewSequence(7)
+		DoWith(w, n, func() *scratch {
+			news.Add(1)
+			return &scratch{buf: make([]float64, 257)}
+		}, func(r *scratch, i int) {
+			if len(r.buf) != 257 {
+				t.Errorf("worker state missing on shard %d", i)
+			}
+			out[i] = shardWork(seq, i)
+		})
+		if got := news.Load(); got < 1 || got > int64(w) {
+			t.Fatalf("workers=%d: newR ran %d times, want 1..%d", w, got, w)
+		}
+		ref := make([]float64, n)
+		Do(1, n, func(i int) { ref[i] = shardWork(seq, i) })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: shard %d diverged with worker state", w, i)
+			}
+		}
+	}
+}
+
+// TestDoErrWithPropagatesLowestError: the With pool keeps DoErr's
+// lowest-index error semantics.
+func TestDoErrWithPropagatesLowestError(t *testing.T) {
+	errA := errors.New("fail-2")
+	errB := errors.New("fail-7")
+	for _, w := range []int{1, 4} {
+		err := DoErrWith(w, 10, func() int { return 0 }, func(_ int, i int) error {
+			switch i {
+			case 2:
+				return errA
+			case 7:
+				return errB
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want %v", w, err, errA)
+		}
+	}
+}
+
+// TestForEachWithUsesDefaultWorkers: the package-level With helpers
+// resolve the process-wide worker count.
+func TestForEachWithUsesDefaultWorkers(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	var ran atomic.Int64
+	ForEachWith(9, func() struct{} { return struct{}{} }, func(_ struct{}, i int) {
+		ran.Add(1)
+	})
+	if ran.Load() != 9 {
+		t.Fatalf("ran %d shards, want 9", ran.Load())
+	}
+	if err := ForEachErrWith(9, func() struct{} { return struct{}{} }, func(_ struct{}, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 18 {
+		t.Fatalf("ran %d shards total, want 18", ran.Load())
+	}
+}
+
+// TestDoWithPanicPropagation: panics inside a With shard re-raise like
+// the plain pool's.
+func TestDoWithPanicPropagation(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				if v := recover(); v != "with-boom-3" {
+					t.Fatalf("workers=%d: recovered %v, want with-boom-3", w, v)
+				}
+			}()
+			DoWith(w, 8, func() int { return 0 }, func(_ int, i int) {
+				if i == 3 {
+					panic("with-boom-3")
+				}
+			})
+		}()
+	}
+}
+
 // TestRaceStressWithObs hammers the pool with the observability registry
 // enabled so `go test -race` exercises the shared registry, the queue
 // gauge and the shard histogram from many goroutines at once.
@@ -198,5 +296,55 @@ func TestRaceStressWithObs(t *testing.T) {
 func BenchmarkDoOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Do(4, 16, func(int) {})
+	}
+}
+
+// TestPackageLevelHelpers covers the Workers()-resolving convenience
+// wrappers: ForEach/ForEachErr/Map/MapErr must match their explicit
+// -count siblings.
+func TestPackageLevelHelpers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	out := make([]int, 11)
+	ForEach(11, func(i int) { out[i] = i * 2 })
+	for i := range out {
+		if out[i] != i*2 {
+			t.Fatalf("ForEach slot %d = %d", i, out[i])
+		}
+	}
+	if err := ForEachErr(5, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("helper-3")
+	if err := ForEachErr(5, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("ForEachErr returned %v", err)
+	}
+	m := Map(6, func(i int) int { return i * i })
+	for i := range m {
+		if m[i] != i*i {
+			t.Fatalf("Map slot %d = %d", i, m[i])
+		}
+	}
+	me, err := MapErr(6, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range me {
+		if me[i] != i+1 {
+			t.Fatalf("MapErr slot %d = %d", i, me[i])
+		}
+	}
+	if _, err := MapErr(4, func(i int) (int, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("MapErr error path returned %v", err)
+	}
+	// shardFailure.Error renders the panic message the pool re-raises.
+	f := &shardFailure{index: 2, value: "boom"}
+	if got := f.Error(); !strings.Contains(got, "shard 2") || !strings.Contains(got, "boom") {
+		t.Fatalf("shardFailure.Error() = %q", got)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
@@ -142,33 +143,39 @@ func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (f
 	}
 	nChunks := (nBits + chunk - 1) / chunk
 	seq := src.SplitSeq()
-	type shard struct {
-		src   *rng.Source
-		bits  []byte
-		syms  []complex128
-		power float64 // sum of |s|² over the shard's symbols
-		errs  int
-	}
-	shards := make([]shard, nChunks)
-	// Pass 1: per shard, draw bits and modulate; accumulate constellation
-	// power locally so the global average can be formed exactly as the
-	// sequential code did (sum over all symbols / count).
-	err := par.ForEachErr(nChunks, func(i int) error {
-		lo := i * chunk
-		hi := lo + chunk
+	span := func(i int) (lo, hi int) {
+		lo = i * chunk
+		hi = lo + chunk
 		if hi > nBits {
 			hi = nBits
 		}
-		sh := &shards[i]
-		sh.src = seq.At(uint64(i))
-		sh.bits = sh.src.Bits(make([]byte, hi-lo))
-		syms, err := mod.Modulate(nil, sh.bits)
+		return lo, hi
+	}
+	// Per-shard results are small value structs: the bit and symbol
+	// buffers live in per-worker workspaces and never survive a shard, so
+	// the sweep is allocation-free per item in steady state.
+	type shardStat struct {
+		power float64 // sum of |s|² over the shard's symbols
+		syms  int
+		errs  int
+	}
+	stats := make([]shardStat, nChunks)
+	// Pass 1: per shard, draw bits and modulate; accumulate constellation
+	// power locally so the global average can be formed exactly as the
+	// sequential code did (sum over all symbols / count).
+	err := par.ForEachErrWith(nChunks, dsp.NewWorkspace, func(ws *dsp.Workspace, i int) error {
+		ws.Reset()
+		lo, hi := span(i)
+		s := seq.At(uint64(i))
+		bits := s.Bits(ws.Bytes(hi - lo))
+		syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
 		if err != nil {
 			return err
 		}
-		sh.syms = syms
-		for _, s := range syms {
-			sh.power += real(s)*real(s) + imag(s)*imag(s)
+		st := &stats[i]
+		st.syms = len(syms)
+		for _, v := range syms {
+			st.power += real(v)*real(v) + imag(v)*imag(v)
 		}
 		return nil
 	})
@@ -179,27 +186,43 @@ func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (f
 	// actual average power across every shard.
 	var p float64
 	nSyms := 0
-	for i := range shards {
-		p += shards[i].power
-		nSyms += len(shards[i].syms)
+	for i := range stats {
+		p += stats[i].power
+		nSyms += stats[i].syms
 	}
 	p /= float64(nSyms)
 	noisePower := p / math.Pow(10, snrDB/10)
-	// Pass 2: per shard, add AWGN from the shard's own stream (continued
-	// past the bit draws), demodulate and count errors.
-	par.ForEach(nChunks, func(i int) {
-		sh := &shards[i]
-		sh.src.AWGN(sh.syms, noisePower)
-		got := mod.Demodulate(make([]byte, 0, len(sh.bits)), sh.syms)
-		for j := range sh.bits {
-			if got[j] != sh.bits[j] {
-				sh.errs++
+	// Pass 2: redraw the shard's bits from the same index-keyed sub-stream
+	// (seq.At is idempotent, so the regenerated source sits at exactly the
+	// position the old retained-buffer code had after pass 1), then add
+	// AWGN, demodulate and count errors. Redrawing trades a little compute
+	// for not retaining nChunks bit/symbol buffers across the barrier.
+	err = par.ForEachErrWith(nChunks, dsp.NewWorkspace, func(ws *dsp.Workspace, i int) error {
+		ws.Reset()
+		lo, hi := span(i)
+		s := seq.At(uint64(i))
+		bits := s.Bits(ws.Bytes(hi - lo))
+		syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
+		if err != nil {
+			return err
+		}
+		s.AWGN(syms, noisePower)
+		got := mod.Demodulate(ws.Bytes(len(bits))[:0], syms)
+		errs := 0
+		for j := range bits {
+			if got[j] != bits[j] {
+				errs++
 			}
 		}
+		stats[i].errs = errs
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	errs := 0
-	for i := range shards {
-		errs += shards[i].errs
+	for i := range stats {
+		errs += stats[i].errs
 	}
 	return float64(errs) / float64(nBits), nil
 }

@@ -108,7 +108,9 @@ func (a ASK) Modulate(dst []complex128, bitsIn []byte) ([]complex128, error) {
 	if len(bitsIn)%k != 0 {
 		return nil, fmt.Errorf("phy: bit count %d not a multiple of %d", len(bitsIn), k)
 	}
-	lv := a.levels()
+	// Levels are computed inline (amplitude i/(M−1)) rather than via
+	// levels() so modulation stays allocation-free.
+	den := float64(a.M - 1)
 	for i := 0; i < len(bitsIn); i += k {
 		idx := 0
 		for j := 0; j < k; j++ {
@@ -118,7 +120,7 @@ func (a ASK) Modulate(dst []complex128, bitsIn []byte) ([]complex128, error) {
 			}
 			idx = idx<<1 | int(b)
 		}
-		dst = append(dst, complex(lv[grayToBinary(idx)], 0))
+		dst = append(dst, complex(float64(grayToBinary(idx))/den, 0))
 	}
 	return dst, nil
 }
@@ -126,12 +128,12 @@ func (a ASK) Modulate(dst []complex128, bitsIn []byte) ([]complex128, error) {
 // Demodulate implements Modulation: nearest amplitude level, Gray-decoded.
 func (a ASK) Demodulate(dst []byte, syms []complex128) []byte {
 	k := a.BitsPerSymbol()
-	lv := a.levels()
+	den := float64(a.M - 1)
 	for _, s := range syms {
 		amp := cmplx.Abs(s)
 		best, bestD := 0, math.Inf(1)
-		for i, l := range lv {
-			if d := math.Abs(amp - l); d < bestD {
+		for i := 0; i < a.M; i++ {
+			if d := math.Abs(amp - float64(i)/den); d < bestD {
 				best, bestD = i, d
 			}
 		}

@@ -17,15 +17,21 @@ var Preamble13 = []int{+1, +1, +1, +1, +1, -1, -1, +1, +1, -1, +1, -1, +1}
 // map to the reflecting state (amplitude 1), −1 chips to the absorbed
 // state (amplitude leakage).
 func PreambleSymbols(leakage float64) []complex128 {
-	out := make([]complex128, len(Preamble13))
-	for i, c := range Preamble13 {
+	return AppendPreambleSymbols(nil, leakage)
+}
+
+// AppendPreambleSymbols appends the Barker preamble symbols to dst (see
+// PreambleSymbols) — the allocation-free form for callers with a
+// reusable buffer.
+func AppendPreambleSymbols(dst []complex128, leakage float64) []complex128 {
+	for _, c := range Preamble13 {
 		if c > 0 {
-			out[i] = 1
+			dst = append(dst, 1)
 		} else {
-			out[i] = complex(leakage, 0)
+			dst = append(dst, complex(leakage, 0))
 		}
 	}
-	return out
+	return dst
 }
 
 // Waveform turns symbols into (and back out of) sampled baseband.
@@ -50,11 +56,23 @@ func (w Waveform) Synthesize(symbols []complex128) []complex128 {
 	return dsp.ShapeSymbols(symbols, w.Pulse, w.SPS)
 }
 
+// SynthesizeWS is Synthesize with workspace-backed scratch and output
+// (valid until the next ws.Reset; nil ws allocates).
+func (w Waveform) SynthesizeWS(ws *dsp.Workspace, symbols []complex128) []complex128 {
+	return dsp.ShapeSymbolsWS(ws, symbols, w.Pulse, w.SPS)
+}
+
 // MatchedFilter correlates the received samples against the pulse and
 // returns one decision statistic per symbol period, sampling at the
 // center of each period starting from startSample. Decision values are
 // normalized by the pulse energy so symbol amplitudes are preserved.
 func (w Waveform) MatchedFilter(samples []complex128, startSample, nSymbols int) ([]complex128, error) {
+	return w.MatchedFilterWS(nil, samples, startSample, nSymbols)
+}
+
+// MatchedFilterWS is MatchedFilter with the decision buffer checked out
+// of ws (valid until the next ws.Reset; nil ws allocates).
+func (w Waveform) MatchedFilterWS(ws *dsp.Workspace, samples []complex128, startSample, nSymbols int) ([]complex128, error) {
 	if startSample < 0 {
 		return nil, fmt.Errorf("phy: negative start sample %d", startSample)
 	}
@@ -65,7 +83,7 @@ func (w Waveform) MatchedFilter(samples []complex128, startSample, nSymbols int)
 	if pe == 0 {
 		return nil, fmt.Errorf("phy: zero-energy pulse")
 	}
-	out := make([]complex128, 0, nSymbols)
+	out := ws.Complex(nSymbols)[:0]
 	for k := 0; k < nSymbols; k++ {
 		// startSample + k·SPS is the *center* of symbol k (the
 		// ShapeSymbols contract); pulse sample i sits i − (len−1)/2
@@ -89,15 +107,22 @@ func (w Waveform) MatchedFilter(samples []complex128, startSample, nSymbols int)
 // rate, and returns the sample index of the first payload symbol (i.e.
 // just after the preamble) plus the correlation peak metric.
 func (w Waveform) DetectBurst(samples []complex128, leakage float64) (payloadStart int, metric float64, err error) {
+	return w.DetectBurstWS(nil, samples, leakage)
+}
+
+// DetectBurstWS is DetectBurst with the envelope, template and
+// correlation buffers checked out of ws (nil ws allocates).
+func (w Waveform) DetectBurstWS(ws *dsp.Workspace, samples []complex128, leakage float64) (payloadStart int, metric float64, err error) {
 	n := len(Preamble13)
 	need := (n + 1) * w.SPS
 	if len(samples) < need {
 		return 0, 0, fmt.Errorf("phy: burst shorter (%d) than preamble (%d samples)", len(samples), need)
 	}
-	env := dsp.Magnitudes(dsp.MovingAverage(samples, w.SPS))
+	avg := dsp.MovingAverageInto(ws.Complex(len(samples)), samples, w.SPS)
+	env := dsp.MagnitudesInto(ws.Float(len(samples)), avg)
 	// Zero-mean chip template: +1 → high, −1 → low; remove DC so the
 	// correlation ignores the absolute signal level.
-	tmpl := make([]float64, n)
+	tmpl := ws.Float(n)
 	var mean float64
 	for i, c := range Preamble13 {
 		v := leakage
@@ -114,7 +139,7 @@ func (w Waveform) DetectBurst(samples []complex128, leakage float64) (payloadSta
 	// The moving-average envelope peaks at the *end* of each symbol
 	// period; search all sample offsets.
 	maxOfs := len(samples) - n*w.SPS
-	corr := make([]float64, maxOfs+1)
+	corr := ws.Float(maxOfs + 1)
 	bestV := math.Inf(-1)
 	for ofs := 0; ofs <= maxOfs; ofs++ {
 		var acc float64
@@ -156,10 +181,16 @@ func (w Waveform) DetectBurst(samples []complex128, leakage float64) (payloadSta
 // high and low clusters; SNR = (μ_hi−μ_lo)²·(avg symbol power fraction) /
 // (2·σ²). It returns the estimated average-SNR in dB.
 func MeasureSNR(decisions []complex128) (float64, error) {
+	return MeasureSNRWS(nil, decisions)
+}
+
+// MeasureSNRWS is MeasureSNR with the magnitude buffer checked out of ws
+// (nil ws allocates).
+func MeasureSNRWS(ws *dsp.Workspace, decisions []complex128) (float64, error) {
 	if len(decisions) < 4 {
 		return 0, fmt.Errorf("phy: need ≥ 4 decisions to estimate SNR")
 	}
-	mags := dsp.Magnitudes(decisions)
+	mags := dsp.MagnitudesInto(ws.Float(len(decisions)), decisions)
 	lo, hi := mags[0], mags[0]
 	for _, m := range mags {
 		lo = math.Min(lo, m)

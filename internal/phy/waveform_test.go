@@ -235,3 +235,39 @@ func TestSynthesizeEnergyMatchesEnvelope(t *testing.T) {
 		t.Errorf("50%% duty OOK power %g, want 0.5", p)
 	}
 }
+
+// TestSynthesizeWSMatchesSynthesize: workspace-backed synthesis must be
+// sample-identical to the allocating path, including across Reset frames.
+func TestSynthesizeWSMatchesSynthesize(t *testing.T) {
+	w, err := NewRectWaveform(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	bits := src.Bits(make([]byte, 96))
+	syms, err := (OOK{Leakage: 0.05}).Modulate(nil, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Synthesize(syms)
+	ws := dsp.NewWorkspace()
+	for frame := 0; frame < 3; frame++ {
+		ws.Reset()
+		got := w.SynthesizeWS(ws, syms)
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: %d samples, want %d", frame, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("frame %d: sample %d = %v, want %v", frame, i, got[i], want[i])
+			}
+		}
+	}
+	// nil workspace is exactly the allocating path.
+	got := w.SynthesizeWS(nil, syms)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("nil-ws sample %d diverged", i)
+		}
+	}
+}

@@ -44,10 +44,17 @@ type RxStats struct {
 // average. Self-interference and unknown channel gain shift both OOK
 // levels; the adaptive threshold absorbs that, unlike a fixed one.
 func DecideOOK(decisions []complex128) (bits []byte, threshold float64, err error) {
+	return DecideOOKWS(nil, decisions)
+}
+
+// DecideOOKWS is DecideOOK with the magnitude and bit buffers checked
+// out of ws; the returned bits are valid until the next ws.Reset. A nil
+// ws allocates.
+func DecideOOKWS(ws *dsp.Workspace, decisions []complex128) (bits []byte, threshold float64, err error) {
 	if len(decisions) == 0 {
 		return nil, 0, fmt.Errorf("reader: no decisions")
 	}
-	mags := dsp.Magnitudes(decisions)
+	mags := dsp.MagnitudesInto(ws.Float(len(decisions)), decisions)
 	lo, hi := mags[0], mags[0]
 	for _, m := range mags {
 		lo = math.Min(lo, m)
@@ -71,7 +78,7 @@ func DecideOOK(decisions []complex128) (bits []byte, threshold float64, err erro
 	} else {
 		threshold = (muH/float64(nH) + muL/float64(nL)) / 2
 	}
-	bits = make([]byte, len(mags))
+	bits = ws.Bytes(len(mags))
 	for i, m := range mags {
 		if m >= threshold {
 			bits[i] = 0 // reflecting = data '0' (paper §6)
@@ -86,11 +93,19 @@ func DecideOOK(decisions []complex128) (bits []byte, threshold float64, err erro
 // amplitude rails from the extreme deciles, normalizes each decision into
 // [0,1], and Gray-demaps with the nearest of the four uniform levels.
 func DecideASK4(decisions []complex128) (bits []byte, err error) {
+	return DecideASK4WS(nil, decisions)
+}
+
+// DecideASK4WS is DecideASK4 with the magnitude, sort, normalization and
+// bit buffers checked out of ws (valid until the next ws.Reset; nil ws
+// allocates).
+func DecideASK4WS(ws *dsp.Workspace, decisions []complex128) (bits []byte, err error) {
 	if len(decisions) == 0 {
 		return nil, fmt.Errorf("reader: no decisions")
 	}
-	mags := dsp.Magnitudes(decisions)
-	sorted := append([]float64{}, mags...)
+	mags := dsp.MagnitudesInto(ws.Float(len(decisions)), decisions)
+	sorted := ws.Float(len(mags))
+	copy(sorted, mags)
 	sort.Float64s(sorted)
 	decile := len(sorted) / 10
 	if decile < 1 {
@@ -107,11 +122,35 @@ func DecideASK4(decisions []complex128) (bits []byte, err error) {
 	if span <= 0 {
 		return nil, fmt.Errorf("reader: ASK rails degenerate")
 	}
-	norm := make([]complex128, len(mags))
+	norm := ws.Complex(len(mags))
 	for i, m := range mags {
 		norm[i] = complex((m-lo)/span, 0)
 	}
-	return (phy.ASK{M: 4}).Demodulate(nil, norm), nil
+	return (phy.ASK{M: 4}).Demodulate(ws.Bytes(2 * len(mags))[:0], norm), nil
+}
+
+// Pipeline is a reusable receive chain: it owns a dsp.Workspace so
+// repeated DecodeBurst calls reuse every correlation, normalization and
+// bit-slicing buffer instead of reallocating them per burst. A Pipeline
+// is not safe for concurrent use; parallel sweeps create one per worker.
+type Pipeline struct {
+	ws *dsp.Workspace
+}
+
+// NewPipeline returns a receive pipeline with a fresh workspace.
+func NewPipeline() *Pipeline { return &Pipeline{ws: dsp.NewWorkspace()} }
+
+// Workspace exposes the pipeline's arena so callers that capture and
+// decode in one frame (e.g. the link layer) can share it.
+func (p *Pipeline) Workspace() *dsp.Workspace { return p.ws }
+
+// DecodeBurst decodes one burst, recycling the previous call's buffers
+// first. The returned frame references workspace memory: it is valid
+// only until the next call on this pipeline (copy the payload out to
+// keep it).
+func (p *Pipeline) DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
+	p.ws.Reset()
+	return DecodeBurstWS(p.ws, samples, w)
 }
 
 // DecodeBurst runs the full receive pipeline on captured baseband
@@ -120,13 +159,22 @@ func DecideASK4(decisions []complex128) (bits []byte, err error) {
 // learn the payload length and MCS, then the remainder of the burst with
 // the scheme the header names.
 func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
+	return DecodeBurstWS(nil, samples, w)
+}
+
+// DecodeBurstWS is DecodeBurst drawing every scratch buffer from ws. It
+// never Resets ws — it composes with a caller that captured the samples
+// from the same arena — so the returned frame's payload references ws
+// memory and is valid only until the caller's next Reset. A nil ws
+// allocates, which is exactly DecodeBurst.
+func DecodeBurstWS(ws *dsp.Workspace, samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
 	var stats RxStats
 	span := obs.StartSpan("reader.decode")
 	defer span.End()
 	obs.Inc("reader_bursts_total")
 
 	sync := span.StartChild("reader.sync")
-	start, metric, err := w.DetectBurst(samples, 0)
+	start, metric, err := w.DetectBurstWS(ws, samples, 0)
 	sync.End()
 	if err != nil {
 		obs.Inc("reader_sync_failures_total")
@@ -141,20 +189,20 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 
 	decide := span.StartChild("reader.decide")
 	headerSyms := frame.HeaderLen * 8
-	dec, err := w.MatchedFilter(samples, start, headerSyms)
+	dec, err := w.MatchedFilterWS(ws, samples, start, headerSyms)
 	if err != nil {
 		decide.End()
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
-	headerBits, thr, err := DecideOOK(dec)
+	headerBits, thr, err := DecideOOKWS(ws, dec)
 	if err != nil {
 		decide.End()
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 		return nil, stats, err
 	}
 	stats.Threshold = thr
-	headerBytes, err := frame.BytesFromBits(headerBits)
+	headerBytes, err := frame.AppendBytesFromBits(ws.Bytes(frame.HeaderLen)[:0], headerBits)
 	if err != nil {
 		decide.End()
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
@@ -163,7 +211,9 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	var hdr frame.Header
 	// Decode against a padded view: the header parser wants to record a
 	// payload slice even though we have not demodulated it yet.
-	padded := append(append([]byte{}, headerBytes...), 0)
+	padded := ws.Bytes(frame.HeaderLen + 1)
+	copy(padded, headerBytes)
+	padded[frame.HeaderLen] = 0
 	if err := hdr.DecodeFromBytes(padded); err != nil {
 		decide.End()
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "header"))
@@ -176,7 +226,7 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 		restSyms = restBits / 2
 	}
 	restStart := start + headerSyms*w.SPS
-	decRest, err := w.MatchedFilter(samples, restStart, restSyms)
+	decRest, err := w.MatchedFilterWS(ws, samples, restStart, restSyms)
 	if err != nil {
 		decide.End()
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
@@ -187,14 +237,16 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	switch hdr.MCS {
 	case frame.MCSASK4:
 		// Header decided on its own threshold; payload by 4-level rails.
-		payloadBits, err := DecideASK4(decRest)
+		payloadBits, err := DecideASK4WS(ws, decRest)
 		if err != nil {
 			decide.End()
 			obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 			return nil, stats, err
 		}
-		bits = append(append([]byte{}, headerBits...), payloadBits...)
-		if snr, err := phy.MeasureSNR(dec); err == nil {
+		bits = ws.Bytes(len(headerBits) + len(payloadBits))
+		copy(bits, headerBits)
+		copy(bits[len(headerBits):], payloadBits)
+		if snr, err := phy.MeasureSNRWS(ws, dec); err == nil {
 			stats.SNRdBEst = snr
 		} else {
 			stats.SNRdBEst = math.NaN()
@@ -202,15 +254,17 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 	default:
 		// Re-decide header and rest together so the threshold benefits
 		// from the whole burst.
-		all := append(append([]complex128{}, dec...), decRest...)
-		bits, thr, err = DecideOOK(all)
+		all := ws.Complex(len(dec) + len(decRest))
+		copy(all, dec)
+		copy(all[len(dec):], decRest)
+		bits, thr, err = DecideOOKWS(ws, all)
 		if err != nil {
 			decide.End()
 			obs.Inc("reader_decode_errors_total", obs.L("stage", "decide"))
 			return nil, stats, err
 		}
 		stats.Threshold = thr
-		if snr, err := phy.MeasureSNR(all); err == nil {
+		if snr, err := phy.MeasureSNRWS(ws, all); err == nil {
 			stats.SNRdBEst = snr
 		} else {
 			stats.SNRdBEst = math.NaN()
@@ -225,7 +279,7 @@ func DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats,
 
 	deframe := span.StartChild("reader.deframe")
 	defer deframe.End()
-	raw, err := frame.BytesFromBits(bits)
+	raw, err := frame.AppendBytesFromBits(ws.Bytes(len(bits) / 8)[:0], bits)
 	if err != nil {
 		obs.Inc("reader_decode_errors_total", obs.L("stage", "deframe"))
 		return nil, stats, err

@@ -100,6 +100,60 @@ func TestDecodeBurstCleanChannel(t *testing.T) {
 	}
 }
 
+// TestPipelineReuseMatchesOneShot: decoding the same capture through a
+// reusable Pipeline (recycled workspace buffers) must be identical to
+// the one-shot allocating DecodeBurst, call after call.
+func TestPipelineReuseMatchesOneShot(t *testing.T) {
+	payload := []byte("workspace reuse burst")
+	samples := synthBurst(t, 0x1234, payload, 0.05, 8)
+	rx := make([]complex128, 150+len(samples)+80)
+	copy(rx[150:], samples)
+	w, _ := phy.NewRectWaveform(8)
+	want, wantStats, err := DecodeBurst(rx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	for i := 0; i < 3; i++ {
+		got, stats, err := p.DecodeBurst(rx, w)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got.Header.TagID != want.Header.TagID || !bytes.Equal(got.Payload.Data, want.Payload.Data) {
+			t.Fatalf("call %d: decoded frame diverged from one-shot decode", i)
+		}
+		if stats != wantStats {
+			t.Fatalf("call %d: stats %+v, want %+v", i, stats, wantStats)
+		}
+	}
+}
+
+// TestPipelineSteadyStateAllocs bounds the per-burst allocation count of
+// the reusable pipeline: after the first call sizes the workspace pools,
+// a decode may allocate only the returned frame.Decoded and the few
+// fixed-size header values — nothing proportional to the burst.
+func TestPipelineSteadyStateAllocs(t *testing.T) {
+	payload := make([]byte, 64)
+	samples := synthBurst(t, 0x42, payload, 0.05, 8)
+	rx := make([]complex128, 100+len(samples)+60)
+	copy(rx[100:], samples)
+	w, _ := phy.NewRectWaveform(8)
+	p := NewPipeline()
+	if _, _, err := p.DecodeBurst(rx, w); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, _, err := p.DecodeBurst(rx, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The one-shot path allocates proportionally to the burst (dozens of
+	// buffers); the pipeline must stay at a small constant.
+	if n > 6 {
+		t.Errorf("pipeline decode: %v allocs/run, want ≤ 6", n)
+	}
+}
+
 func TestDecodeBurstNoisy(t *testing.T) {
 	src := rng.New(77)
 	payload := src.Bytes(make([]byte, 16))
@@ -138,5 +192,15 @@ func TestDecodeBurstGarbage(t *testing.T) {
 	// Far too short for even the preamble.
 	if _, _, err := DecodeBurst(make([]complex128, 10), w); err == nil {
 		t.Error("short capture should fail")
+	}
+}
+
+func TestPipelineWorkspaceShared(t *testing.T) {
+	p := NewPipeline()
+	if p.Workspace() == nil {
+		t.Fatal("pipeline workspace is nil")
+	}
+	if p.Workspace() != p.Workspace() {
+		t.Fatal("Workspace must return the pipeline's own arena")
 	}
 }

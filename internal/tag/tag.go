@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/cmplx"
 
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/phy"
@@ -87,13 +88,21 @@ func (t *Tag) Burst(payload []byte, theta, f float64) ([]complex128, error) {
 // 0, ⅓, ⅔, 1 of the full aperture — exactly uniform ASK levels, floored
 // by the switch leakage.
 func (t *Tag) BurstMCS(payload []byte, mcs frame.MCS, theta, f float64) ([]complex128, error) {
-	raw, err := frame.Encode(t.ID, mcs, payload)
+	return t.BurstMCSWS(nil, payload, mcs, theta, f)
+}
+
+// BurstMCSWS is BurstMCS with the frame bytes, bit expansion and symbol
+// buffer checked out of ws; the returned symbols are valid until the
+// next ws.Reset. A nil ws allocates, which is exactly BurstMCS.
+func (t *Tag) BurstMCSWS(ws *dsp.Workspace, payload []byte, mcs frame.MCS, theta, f float64) ([]complex128, error) {
+	rawLen := frame.HeaderLen + len(payload) + frame.CRCLen
+	raw, err := frame.AppendEncode(ws.Bytes(rawLen)[:0], t.ID, mcs, payload)
 	if err != nil {
 		return nil, err
 	}
 	leak := t.OOKLeakage(theta, f)
-	syms := phy.PreambleSymbols(leak)
-	bits := frame.BitsFromBytes(nil, raw)
+	syms := phy.AppendPreambleSymbols(ws.Complex(BurstSymbolCountMCS(len(payload), mcs))[:0], leak)
+	bits := frame.BitsFromBytes(ws.Bytes(8*len(raw)), raw)
 	headBits := bits[:frame.HeaderLen*8]
 	restBits := bits[frame.HeaderLen*8:]
 	syms, err = (phy.OOK{Leakage: leak}).Modulate(syms, headBits)
@@ -104,7 +113,7 @@ func (t *Tag) BurstMCS(payload []byte, mcs frame.MCS, theta, f float64) ([]compl
 	case frame.MCSOOK:
 		return (phy.OOK{Leakage: leak}).Modulate(syms, restBits)
 	case frame.MCSASK4:
-		pure, err := (phy.ASK{M: 4}).Modulate(nil, restBits)
+		pure, err := (phy.ASK{M: 4}).Modulate(ws.Complex(len(restBits) / 2)[:0], restBits)
 		if err != nil {
 			return nil, err
 		}

@@ -71,13 +71,21 @@ func (t *FixedBeamTag) RetroGainDBi(theta, f float64) float64 {
 	return g
 }
 
+// angleSweepBatch is how many angles one parallel work item evaluates.
+// A single angle costs only a few hundred nanoseconds, far below the
+// channel hand-off cost of the worker pool, so dispatching per angle
+// made the parallel sweep *slower* than sequential. Batching restores
+// a per-item grain coarse enough to amortize the dispatch.
+const angleSweepBatch = 64
+
 // AngleSweep compares monostatic power (dB, normalized to the Van Atta
 // boresight) across incidence angles for both tag types — the data behind
 // the paper's mobility argument (§3, §4).
 //
 // The per-angle responses are pure reads of the two tag models, so the
-// sweep fans out across the par worker pool; each angle writes only its
-// own output slot, keeping results identical for any worker count.
+// sweep fans out across the par worker pool in batches of
+// angleSweepBatch angles; each batch writes only its own output slots,
+// keeping results identical for any worker count.
 func AngleSweep(va *Array, fb *FixedBeamTag, f float64, thetas []float64) (vaDB, fbDB []float64) {
 	vaDB = make([]float64, len(thetas))
 	fbDB = make([]float64, len(thetas))
@@ -85,12 +93,20 @@ func AngleSweep(va *Array, fb *FixedBeamTag, f float64, thetas []float64) (vaDB,
 	if ref == 0 {
 		ref = 1
 	}
-	par.ForEach(len(thetas), func(i int) {
-		th := thetas[i]
-		v := cmplx.Abs(va.MonostaticResponse(th, f))
-		b := cmplx.Abs(fb.MonostaticResponse(th, f))
-		vaDB[i] = ratioDB(v, ref)
-		fbDB[i] = ratioDB(b, ref)
+	nBatches := (len(thetas) + angleSweepBatch - 1) / angleSweepBatch
+	par.ForEach(nBatches, func(b int) {
+		lo := b * angleSweepBatch
+		hi := lo + angleSweepBatch
+		if hi > len(thetas) {
+			hi = len(thetas)
+		}
+		for i := lo; i < hi; i++ {
+			th := thetas[i]
+			v := cmplx.Abs(va.MonostaticResponse(th, f))
+			fbv := cmplx.Abs(fb.MonostaticResponse(th, f))
+			vaDB[i] = ratioDB(v, ref)
+			fbDB[i] = ratioDB(fbv, ref)
+		}
 	})
 	return vaDB, fbDB
 }

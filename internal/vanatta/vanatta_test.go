@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"testing"
 	"testing/quick"
+
+	"github.com/mmtag/mmtag/internal/par"
 )
 
 const f24 = 24e9
@@ -222,10 +224,71 @@ func TestAngleSweepShape(t *testing.T) {
 	}
 }
 
+// TestAngleSweepBatchingMatchesSequential pins the batched parallel sweep
+// to a per-angle sequential reference: spanning several batches plus a
+// ragged tail, every output slot must be bit-identical for any worker
+// count.
+func TestAngleSweepBatchingMatchesSequential(t *testing.T) {
+	va := mustNew(t, 6)
+	fb, _ := NewFixedBeam(6, f24)
+	n := 3*angleSweepBatch + 17 // multiple full batches + partial tail
+	thetas := make([]float64, n)
+	for i := range thetas {
+		thetas[i] = -1.2 + 2.4*float64(i)/float64(n-1)
+	}
+	ref := cmplx.Abs(va.MonostaticResponse(0, f24))
+	wantVA := make([]float64, n)
+	wantFB := make([]float64, n)
+	for i, th := range thetas {
+		wantVA[i] = ratioDB(cmplx.Abs(va.MonostaticResponse(th, f24)), ref)
+		wantFB[i] = ratioDB(cmplx.Abs(fb.MonostaticResponse(th, f24)), ref)
+	}
+	for _, workers := range []int{1, 4} {
+		prev := par.SetWorkers(workers)
+		vaDB, fbDB := AngleSweep(va, fb, f24, thetas)
+		par.SetWorkers(prev)
+		for i := range thetas {
+			if vaDB[i] != wantVA[i] || fbDB[i] != wantFB[i] {
+				t.Fatalf("workers=%d slot %d: got (%g,%g) want (%g,%g)",
+					workers, i, vaDB[i], fbDB[i], wantVA[i], wantFB[i])
+			}
+		}
+	}
+}
+
 func TestPeakResponseAngleDefaultPoints(t *testing.T) {
 	a := mustNew(t, 4)
 	got := a.PeakResponseAngle(0.2, f24, -1.2, 1.2, 0) // 0 → default grid
 	if math.Abs(got-0.2) > 0.05 {
 		t.Errorf("peak at %g, want 0.2", got)
+	}
+}
+
+// TestFixedBeamSwitchAndRetroGain: the fixed-beam baseline's switch must
+// modulate its response like the Van Atta's, and its retro gain must
+// fall off away from boresight (the property the Van Atta fixes).
+func TestFixedBeamSwitchAndRetroGain(t *testing.T) {
+	fb, err := NewFixedBeam(6, f24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := New(6, f24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.N() != 6 {
+		t.Fatalf("N() = %d, want 6", va.N())
+	}
+	open := cmplx.Abs(fb.MonostaticResponse(0, f24))
+	fb.SetSwitch(true)
+	shorted := cmplx.Abs(fb.MonostaticResponse(0, f24))
+	fb.SetSwitch(false)
+	if !(shorted < open) {
+		t.Fatalf("switch on did not damp the response: on %g, off %g", shorted, open)
+	}
+	bore := fb.RetroGainDBi(0, f24)
+	off := fb.RetroGainDBi(0.6, f24)
+	if !(off < bore) {
+		t.Fatalf("fixed beam retro gain off-boresight %g >= boresight %g", off, bore)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/mmtag/mmtag/internal/antenna"
 	"github.com/mmtag/mmtag/internal/channel"
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/mac"
@@ -112,6 +113,14 @@ type (
 	TelemetryServer = serve.Server
 	// RunningTelemetry is a started telemetry listener (Close to stop).
 	RunningTelemetry = serve.Running
+	// Workspace is a reusable DSP scratch arena: pass one to the *WS
+	// variants (Link.RunWaveformWS and friends) to amortize every hot-path
+	// buffer and FFT plan across repeated bursts. Not safe for concurrent
+	// use — keep one per goroutine. See DESIGN.md §9.
+	Workspace = dsp.Workspace
+	// Pipeline is a reusable receive chain owning its own Workspace; see
+	// NewPipeline.
+	Pipeline = reader.Pipeline
 )
 
 // Metrics returns the process-wide observability registry, enabling
@@ -212,6 +221,16 @@ func NewVanAtta(n int, freqHz float64) (*VanAttaArray, error) { return vanatta.N
 // NewSource returns a deterministic randomness source for reproducible
 // simulations.
 func NewSource(seed uint64) *Source { return rng.New(seed) }
+
+// NewWorkspace returns an empty DSP workspace. Results are identical
+// with or without one; a workspace only changes where scratch memory
+// comes from (see DESIGN.md §9 for the ownership rules).
+func NewWorkspace() *Workspace { return dsp.NewWorkspace() }
+
+// NewPipeline returns a reusable burst-receive pipeline: repeated
+// DecodeBurst calls recycle every correlation, normalization and
+// bit-slicing buffer instead of reallocating them per burst.
+func NewPipeline() *Pipeline { return reader.NewPipeline() }
 
 // SetWorkers sets the worker count every parallel sweep in the library
 // uses (Monte-Carlo BER shards, experiment trial fan-outs, angle

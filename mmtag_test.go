@@ -96,3 +96,33 @@ func TestPaperBandwidthsExposed(t *testing.T) {
 		t.Errorf("paper bandwidths: %+v", bws)
 	}
 }
+
+// TestFacadeWorkspacePipeline covers the zero-allocation facade entry
+// points: a reused Workspace must reproduce the allocating waveform
+// path, and NewPipeline must hand back a usable burst decoder.
+func TestFacadeWorkspacePipeline(t *testing.T) {
+	link, err := mmtag.NewLink(mmtag.Feet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("facade ws")
+	bw := link.Reader.Bandwidths[2]
+	want, err := link.RunWaveform(payload, bw, mmtag.NewSource(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := mmtag.NewWorkspace()
+	for i := 0; i < 2; i++ {
+		got, err := link.RunWaveformWS(ws, payload, bw, mmtag.NewSource(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Decoded != want.Decoded || got.TagID != want.TagID ||
+			got.MeasuredSNRdB != want.MeasuredSNRdB {
+			t.Fatalf("call %d: WS facade result diverged: %+v vs %+v", i, got, want)
+		}
+	}
+	if p := mmtag.NewPipeline(); p == nil {
+		t.Fatal("NewPipeline returned nil")
+	}
+}
