@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-gate bench-gate3 bench-gate4 vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-trend vet fmt experiments figures clean
 
 all: build test
 
@@ -46,6 +46,13 @@ BENCH4_OUT ?= $(CURDIR)/BENCH_4.json
 bench-json4:
 	MMTAG_BENCH4_JSON=$(BENCH4_OUT) $(GO) test -run 'TestWriteBenchJSON4' -v .
 
+# Machine-readable signal-tap overhead benchmarks (BENCH_5.json):
+# taps-enabled and flight-recorder burst figures with allocs/op recorded,
+# plus the in-test assertions that taps stay allocation-free.
+BENCH5_OUT ?= $(CURDIR)/BENCH_5.json
+bench-json5:
+	MMTAG_BENCH5_JSON=$(BENCH5_OUT) $(GO) test -run 'TestWriteBenchJSON5' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
@@ -61,6 +68,18 @@ bench-gate3:
 bench-gate4:
 	$(MAKE) bench-json4 BENCH4_OUT=/tmp/mmtag_bench4_fresh.json
 	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_4.json -fresh /tmp/mmtag_bench4_fresh.json -require-speedup 0 -require-sweep-speedup 1.0
+
+# Signal-tap overhead gate: same machine-scaled ns/op + raw allocs/op
+# comparison for the BENCH_5 taps/flight-recorder figures. The hard
+# contract here is the allocation profile (compared raw and tight);
+# burst-level ns/op is noisy on loaded runners, so it gets extra slack.
+bench-gate5:
+	$(MAKE) bench-json5 BENCH5_OUT=/tmp/mmtag_bench5_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_5.json -fresh /tmp/mmtag_bench5_fresh.json -require-speedup 0 -tolerance 0.40
+
+# Markdown trend table across the whole BENCH_N.json history.
+bench-trend:
+	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
 
 vet:
 	$(GO) vet ./...

@@ -5,27 +5,99 @@
 //
 //	mmtag-capture record -out burst.iq [-range-ft 4] [-bw 200MHz]
 //	                     [-payload TEXT] [-mcs ook|ask4] [-seed N]
-//	mmtag-capture decode -in burst.iq
+//	                     [-serve ADDR] [-rundir DIR]
+//	mmtag-capture decode -in burst.iq [-serve ADDR] [-rundir DIR]
 //
 // `record` places a paper-default tag at the given range, runs the full
 // waveform synthesis (frame → switch waveform → channel → leakage →
 // noise → calibration) and writes the capture as an MMIQ file.
 // `decode` loads a capture and runs the reader pipeline on it.
+//
+// Both subcommands take the same observability flags as cmd/mmtag:
+// -serve ADDR exposes live telemetry (and keeps the process up until
+// interrupted so the endpoints stay scrapable), and -rundir DIR archives
+// a self-describing run manifest after the work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/iqfile"
+	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/manifest"
+	"github.com/mmtag/mmtag/internal/obs/serve"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
+
+// eventLogCapacity matches cmd/mmtag's bound on the in-memory event log.
+const eventLogCapacity = 1 << 18
+
+// obsFlags is the shared -serve/-rundir wiring, mirroring cmd/mmtag so
+// every binary in the module is observable the same way.
+type obsFlags struct {
+	serveAt string
+	rundir  string
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.serveAt, "serve", "", "serve live telemetry (metrics, trace, events, healthz, dashboard, pprof) on this address; the process stays up after the work until interrupted")
+	fs.StringVar(&o.rundir, "rundir", "", "write a self-describing run manifest (manifest.json, metrics.json, trace.json, events.jsonl) into this directory")
+}
+
+// setup enables the telemetry stores and starts the server when
+// requested. The returned finish func archives the run directory and,
+// when serving, blocks until interrupt so the endpoints stay up.
+func (o *obsFlags) setup(experiment string, seed uint64) (func() error, error) {
+	if o.serveAt == "" && o.rundir == "" {
+		return func() error { return nil }, nil
+	}
+	started := time.Now()
+	reg := obs.Enable()
+	evLog := event.New(eventLogCapacity)
+	event.EnableWith(evLog)
+	var running *serve.Running
+	if o.serveAt != "" {
+		srv := serve.New(reg, evLog)
+		srv.SetPhase(experiment)
+		var err error
+		running, err = srv.Start(o.serveAt)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mmtag-capture: telemetry on http://%s/\n", running.Addr())
+	}
+	return func() error {
+		if o.rundir != "" {
+			info := manifest.RunInfo{
+				Experiment: "capture/" + experiment,
+				Seed:       seed,
+				Args:       os.Args,
+				Started:    started,
+			}
+			if _, err := manifest.Write(o.rundir, info, reg, evLog); err != nil {
+				return err
+			}
+		}
+		if running != nil {
+			defer running.Close()
+			fmt.Fprintln(os.Stderr, "mmtag-capture: serving telemetry; Ctrl-C to exit")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			<-sig
+		}
+		return nil
+	}, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -55,7 +127,13 @@ func record(args []string) error {
 	payload := fs.String("payload", "hello from a batteryless tag", "payload text")
 	mcsName := fs.String("mcs", "ook", "payload modulation: ook or ask4")
 	seed := fs.Uint64("seed", 1, "noise seed")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	finish, err := of.setup("record", *seed)
+	if err != nil {
 		return err
 	}
 	link, err := core.NewDefaultLink(units.FeetToMeters(*rangeFt))
@@ -101,13 +179,19 @@ func record(args []string) error {
 	fmt.Printf("wrote %s: %d samples at %.0f Msps, tag at %.1f ft (Pr %.1f dBm, %s)\n",
 		*out, len(cap.Samples), cap.SampleRateHz/1e6, *rangeFt,
 		cap.Budget.ReceivedDBm, units.FormatRate(cap.Budget.RateBps))
-	return nil
+	return finish()
 }
 
 func decode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ContinueOnError)
 	in := fs.String("in", "burst.iq", "input capture path")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	finish, err := of.setup("decode", 0)
+	if err != nil {
 		return err
 	}
 	f, err := os.Open(*in)
@@ -125,6 +209,11 @@ func decode(args []string) error {
 	}
 	dec, stats, err := reader.DecodeBurst(samples, w)
 	if err != nil {
+		// A failed decode is the interesting case for a flight-recorder
+		// capture: archive the telemetry before reporting it.
+		if ferr := finish(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "mmtag-capture:", ferr)
+		}
 		return fmt.Errorf("decode failed: %w", err)
 	}
 	fmt.Printf("capture: %d samples at %.0f Msps (carrier %.1f GHz)\n",
@@ -133,5 +222,5 @@ func decode(args []string) error {
 		dec.Header.TagID, dec.Header.MCS, dec.Header.Length, dec.Trailer.OK)
 	fmt.Printf("payload: %q\n", dec.Payload.Data)
 	fmt.Printf("rx     : SNR ≈ %.1f dB, sync metric %.3g\n", stats.SNRdBEst, stats.PreambleMetric)
-	return nil
+	return finish()
 }

@@ -28,6 +28,7 @@
 //	planar     E17: 2-D (planar) Van Atta vs fixed panel
 //	impair     A2: line phase-error ablation
 //	all        run every experiment in order
+//	verify     re-hash a -rundir manifest and fail on any digest mismatch
 //
 // Flags:
 //
@@ -44,11 +45,17 @@
 //	               write it to PATH as JSON Lines ("-" = stdout); the
 //	               bytes are identical for any -workers count
 //	-serve ADDR    serve live telemetry on ADDR while the run executes:
-//	               /metrics, /metrics.json, /trace, /events, /healthz
-//	               and /debug/pprof/ (see DESIGN.md §7)
+//	               /metrics, /metrics.json, /trace, /events, /healthz,
+//	               /dashboard and /debug/pprof/ (see DESIGN.md §7)
 //	-rundir DIR    write a self-describing run manifest into DIR after
 //	               the run: manifest.json, metrics.json, trace.json,
-//	               events.jsonl
+//	               events.jsonl (+ flight_*.iq with -flightrec)
+//	-taps          enable the signal-level observability taps: SNR, EVM,
+//	               sync-offset and soft-margin histograms plus the live
+//	               dashboard's constellation/spectrum snapshot
+//	-flightrec K   keep the K most recent failing bursts as IQ captures
+//	               (implies -taps); they are archived into -rundir as
+//	               flight_*.iq + flight.json and digested in the manifest
 //	-repeat N      run the experiment N times, printing output only on
 //	               the first pass — keeps the process alive so -serve
 //	               endpoints can be scraped mid-run
@@ -72,6 +79,7 @@ import (
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
 	"github.com/mmtag/mmtag/internal/obs/serve"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/par"
 )
 
@@ -87,18 +95,20 @@ func main() {
 }
 
 type options struct {
-	csv     bool
-	svg     bool
-	points  int
-	seed    uint64
-	bits    int
-	metrics string
-	trace   string
-	events  string
-	serveAt string
-	rundir  string
-	repeat  int
-	workers int
+	csv       bool
+	svg       bool
+	points    int
+	seed      uint64
+	bits      int
+	metrics   string
+	trace     string
+	events    string
+	serveAt   string
+	rundir    string
+	repeat    int
+	workers   int
+	taps      bool
+	flightrec int
 }
 
 // allExperiments is the "all" subcommand's order.
@@ -121,8 +131,10 @@ func run(args []string) error {
 	fs.StringVar(&opt.rundir, "rundir", "", "write a self-describing run manifest (manifest.json, metrics.json, trace.json, events.jsonl) into this directory")
 	fs.IntVar(&opt.repeat, "repeat", 1, "run the experiment this many times, printing only the first pass (keeps -serve scrapable mid-run)")
 	fs.IntVar(&opt.workers, "workers", runtime.NumCPU(), "parallel workers for sweep fan-outs (results are identical for any count)")
+	fs.BoolVar(&opt.taps, "taps", false, "enable signal-level observability taps (SNR/EVM/margin histograms + dashboard burst snapshot)")
+	fs.IntVar(&opt.flightrec, "flightrec", 0, "keep the K most recent failing bursts as IQ captures in -rundir (implies -taps)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify> [flags]")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -132,6 +144,18 @@ func run(args []string) error {
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if name == "verify" {
+		// Not an experiment: re-hash an archived run directory (including
+		// any flight_*.iq captures) against its manifest digests.
+		if opt.rundir == "" {
+			return fmt.Errorf("verify: -rundir is required")
+		}
+		if err := manifest.Verify(opt.rundir); err != nil {
+			return err
+		}
+		fmt.Printf("verify: %s ok\n", opt.rundir)
+		return nil
 	}
 	par.SetWorkers(opt.workers)
 	started := time.Now()
@@ -144,9 +168,24 @@ func run(args []string) error {
 		evLog = event.New(eventLogCapacity)
 		event.EnableWith(evLog)
 	}
+	var tap *signal.Tap
+	if opt.taps || opt.flightrec > 0 {
+		// The scalar taps feed obs histograms, so they need a registry
+		// even when no -metrics path was given.
+		if reg == nil {
+			reg = obs.Enable()
+		}
+		tap = signal.Enable()
+		if opt.flightrec > 0 {
+			tap.SetFlightRecorder(opt.flightrec)
+		}
+	}
 	var srv *serve.Server
 	if opt.serveAt != "" {
 		srv = serve.New(reg, evLog)
+		if tap != nil {
+			srv.AttachSignal(tap)
+		}
 		running, err := srv.Start(opt.serveAt)
 		if err != nil {
 			return err
@@ -184,13 +223,13 @@ func run(args []string) error {
 	if srv != nil {
 		srv.SetPhase("done")
 	}
-	return writeObservability(reg, evLog, started, name, opt)
+	return writeObservability(reg, evLog, tap, started, name, opt)
 }
 
 // writeObservability dumps the run's metrics, span trace, event log and
 // run manifest to the paths the -metrics / -trace / -events / -rundir
 // flags name.
-func writeObservability(reg *obs.Registry, evLog *event.Log, started time.Time, experiment string, opt options) error {
+func writeObservability(reg *obs.Registry, evLog *event.Log, tap *signal.Tap, started time.Time, experiment string, opt options) error {
 	if reg == nil && evLog == nil {
 		return nil
 	}
@@ -230,7 +269,17 @@ func writeObservability(reg *obs.Registry, evLog *event.Log, started time.Time, 
 				"repeat": fmt.Sprintf("%d", opt.repeat),
 			},
 		}
-		if _, err := manifest.Write(opt.rundir, info, reg, evLog); err != nil {
+		var extra []manifest.ExtraFile
+		if tap != nil {
+			files, err := tap.FlightFiles()
+			if err != nil {
+				return fmt.Errorf("flight recorder: %w", err)
+			}
+			for _, f := range files {
+				extra = append(extra, manifest.ExtraFile{Name: f.Name, Data: f.Data})
+			}
+		}
+		if _, err := manifest.Write(opt.rundir, info, reg, evLog, extra...); err != nil {
 			return err
 		}
 	}

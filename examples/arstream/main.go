@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"github.com/mmtag/mmtag"
 )
@@ -26,8 +27,16 @@ import (
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
 	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the walk (Ctrl-C to exit)")
+	rundir := flag.String("rundir", "", "write a self-describing run manifest into this directory after the walk")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	started := time.Now()
+	if *rundir != "" {
+		// Enable the stores up front so the walk's metrics and events
+		// land in the archived manifest.
+		mmtag.Metrics()
+		mmtag.Events()
+	}
 	if *serveAt != "" {
 		_, running, err := mmtag.ServeTelemetry(*serveAt)
 		if err != nil {
@@ -69,6 +78,18 @@ func main() {
 		mmtag.FormatRate(res.MinRate), mmtag.FormatRate(res.MeanRate), mmtag.FormatRate(res.MaxRate))
 	fmt.Println("\nCSV trace:")
 	fmt.Print(res.Trace.CSV())
+
+	if *rundir != "" {
+		if _, err := mmtag.WriteRunDir(*rundir, mmtag.RunInfo{
+			Experiment: "example/arstream",
+			Workers:    *workers,
+			Args:       os.Args,
+			Started:    started,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "arstream: run manifest written to %s\n", *rundir)
+	}
 
 	if *serveAt != "" {
 		// Keep the telemetry endpoints scrapable until interrupted, so the

@@ -14,7 +14,10 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"github.com/mmtag/mmtag"
 	"github.com/mmtag/mmtag/internal/vanatta"
@@ -22,8 +25,25 @@ import (
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the scan (Ctrl-C to exit)")
+	rundir := flag.String("rundir", "", "write a self-describing run manifest into this directory after the scan")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	started := time.Now()
+	if *rundir != "" {
+		// Enable the stores up front so the scan lands in the archived
+		// manifest.
+		mmtag.Metrics()
+		mmtag.Events()
+	}
+	if *serveAt != "" {
+		_, running, err := mmtag.ServeTelemetry(*serveAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer running.Close()
+		fmt.Fprintf(os.Stderr, "beamscan: telemetry on http://%s/\n", running.Addr())
+	}
 	// Hide the tag at 31° off the reader's boresight, 5 ft away.
 	const tagAngle = 31 * math.Pi / 180
 	pos := mmtag.Vec{X: mmtag.Feet(5) * math.Cos(tagAngle), Y: mmtag.Feet(5) * math.Sin(tagAngle)}
@@ -81,4 +101,24 @@ func main() {
 	}
 	fmt.Println("\nthe retrodirective aperture holds within a few dB at every angle;")
 	fmt.Println("the fixed-beam tag only works facing the reader (paper §3).")
+
+	if *rundir != "" {
+		if _, err := mmtag.WriteRunDir(*rundir, mmtag.RunInfo{
+			Experiment: "example/beamscan",
+			Workers:    *workers,
+			Args:       os.Args,
+			Started:    started,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "beamscan: run manifest written to %s\n", *rundir)
+	}
+	if *serveAt != "" {
+		// Keep the telemetry endpoints scrapable until interrupted, so
+		// the finished scan's metrics and events can still be curled.
+		fmt.Fprintln(os.Stderr, "beamscan: scan complete; telemetry still up — Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"github.com/mmtag/mmtag"
 )
@@ -25,8 +26,16 @@ import (
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
 	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the schedule (Ctrl-C to exit)")
+	rundir := flag.String("rundir", "", "write a self-describing run manifest into this directory after the schedule")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	started := time.Now()
+	if *rundir != "" {
+		// Enable the stores up front so the scan and schedule land in
+		// the archived manifest.
+		mmtag.Metrics()
+		mmtag.Events()
+	}
 	if *serveAt != "" {
 		_, running, err := mmtag.ServeTelemetry(*serveAt)
 		if err != nil {
@@ -88,6 +97,18 @@ func main() {
 			fmt.Printf("tag %2d: link %-12s goodput %s\n",
 				sh.TagID, mmtag.FormatRate(sh.LinkRateBps), mmtag.FormatRate(sh.GoodputBps))
 		}
+	}
+
+	if *rundir != "" {
+		if _, err := mmtag.WriteRunDir(*rundir, mmtag.RunInfo{
+			Experiment: "example/multitag",
+			Workers:    *workers,
+			Args:       os.Args,
+			Started:    started,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "multitag: run manifest written to %s\n", *rundir)
 	}
 
 	if *serveAt != "" {

@@ -15,15 +15,35 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"github.com/mmtag/mmtag"
 )
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel workers for the library's sweep fan-outs")
+	serveAt := flag.String("serve", "", "serve live telemetry (metrics, events, pprof) on this address and stay up after the run (Ctrl-C to exit)")
+	rundir := flag.String("rundir", "", "write a self-describing run manifest into this directory after the run")
 	flag.Parse()
 	mmtag.SetWorkers(*workers)
+	started := time.Now()
+	if *rundir != "" {
+		// Enable the stores up front so the NLOS burst lands in the
+		// archived manifest.
+		mmtag.Metrics()
+		mmtag.Events()
+	}
+	if *serveAt != "" {
+		_, running, err := mmtag.ServeTelemetry(*serveAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer running.Close()
+		fmt.Fprintf(os.Stderr, "nlos: telemetry on http://%s/\n", running.Addr())
+	}
 	link, err := mmtag.NewLink(mmtag.Feet(4))
 	if err != nil {
 		log.Fatal(err)
@@ -68,4 +88,24 @@ func main() {
 	}
 	fmt.Printf("waveform burst        : decoded=%v payload=%q bitErrors=%d (SNR %.1f dB)\n",
 		res.Decoded, res.Payload, res.BitErrors, res.MeasuredSNRdB)
+
+	if *rundir != "" {
+		if _, err := mmtag.WriteRunDir(*rundir, mmtag.RunInfo{
+			Experiment: "example/nlos",
+			Workers:    *workers,
+			Args:       os.Args,
+			Started:    started,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "nlos: run manifest written to %s\n", *rundir)
+	}
+	if *serveAt != "" {
+		// Keep the telemetry endpoints scrapable until interrupted, so
+		// the finished run's metrics and events can still be curled.
+		fmt.Fprintln(os.Stderr, "nlos: run complete; telemetry still up — Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -271,6 +272,9 @@ func (l *Link) CaptureWaveformWS(ws *dsp.Workspace, payload []byte, mcs frame.MC
 		return cap, err
 	}
 	tx := w.SynthesizeWS(ws, syms)
+	if t := signal.Active(); t != nil {
+		t.TxWaveform(tx)
+	}
 
 	// Scale: a '0' symbol (amplitude 1) arrives at the reader with power
 	// b.ReceivedDBm. Work in √W amplitudes.
@@ -321,6 +325,9 @@ func (l *Link) CaptureWaveformWS(ws *dsp.Workspace, payload []byte, mcs frame.MC
 	for i := range rx {
 		rx[i] -= mean
 	}
+	if t := signal.Active(); t != nil {
+		t.ChannelOut(rx)
+	}
 	cap.Samples = rx
 	return cap, nil
 }
@@ -362,12 +369,21 @@ func (l *Link) RunWaveformMCSWS(ws *dsp.Workspace, payload []byte, mcs frame.MCS
 		return res, err
 	}
 	rx := cap.Samples
+	tap := signal.Active()
 	dec, stats, err := reader.DecodeBurstWS(ws, rx, w)
 	if err != nil {
 		// Failure to decode is a measurement outcome, not an API error:
 		// report every payload bit as lost.
 		if enabled && errors.Is(err, reader.ErrSync) {
 			obs.Inc("core_sync_failures_total", obs.L("bw", bw.Label))
+		}
+		if tap != nil {
+			trigger := signal.TriggerDecodeError
+			if errors.Is(err, reader.ErrSync) {
+				trigger = signal.TriggerSyncLoss
+			}
+			tap.RecordFailure(trigger, rx, cap.SampleRateHz, l.Reader.FreqHz,
+				bw.Label, mcs.String(), math.NaN())
 		}
 		if event.Enabled() {
 			msg := "decode_failure"
@@ -409,6 +425,27 @@ func (l *Link) RunWaveformMCSWS(ws *dsp.Workspace, payload []byte, mcs frame.MCS
 	}
 	if enabled && res.Decoded {
 		obs.Inc("core_bursts_decoded_total", obs.L("bw", bw.Label))
+	}
+	if tap != nil {
+		tap.Commit(signal.Burst{
+			IQ:           rx,
+			SampleRateHz: cap.SampleRateHz,
+			CarrierHz:    l.Reader.FreqHz,
+			Bandwidth:    bw.Label,
+			MCS:          mcs.String(),
+			SyncOffset:   stats.SyncOffset,
+			SyncMetric:   stats.PreambleMetric,
+			Threshold:    stats.Threshold,
+			SNRdB:        stats.SNRdBEst,
+			Decisions:    stats.Decisions,
+			Quality:      stats.Quality,
+			HasQuality:   stats.HasQuality,
+			Decoded:      res.Decoded,
+		})
+		if !res.Decoded {
+			tap.RecordFailure(signal.TriggerCRCFail, rx, cap.SampleRateHz,
+				l.Reader.FreqHz, bw.Label, mcs.String(), stats.SNRdBEst)
+		}
 	}
 	if event.Enabled() {
 		msg := "crc_failure"

@@ -135,6 +135,18 @@ func FFTShift(x []complex128) []complex128 {
 	return out
 }
 
+// FFTShiftFloats is FFTShift for real-valued per-bin data (e.g. a
+// periodogram's power bins), rotating zero frequency to the middle.
+// Returns a new slice.
+func FFTShiftFloats(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
 // FFTFreqs returns the frequency in Hz of each FFT bin for an N-point
 // transform at the given sample rate, in natural (unshifted) bin order.
 func FFTFreqs(n int, sampleRate float64) []float64 {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/units"
@@ -125,6 +126,14 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 				event.Emit(0, event.LevelInfo, "experiments.rateadapt", "scheme_switch",
 					event.F("range_ft", pt.RangeFt),
 					event.S("from", prevScheme), event.S("to", pt.Scheme))
+			}
+			// Leaving 4-ASK is a rate downshift: flag the most recent
+			// tapped burst so the flight recorder preserves the signal
+			// conditions that forced the fallback.
+			if prevScheme == "4-ASK" {
+				if t := signal.Active(); t != nil {
+					t.RecordLastBurst(signal.TriggerRateDownshift)
+				}
 			}
 			prevScheme = pt.Scheme
 		}

@@ -13,6 +13,7 @@ package iqfile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -84,6 +85,18 @@ func Write(w io.Writer, hdr Header, samples []complex128) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Encode serializes a capture to an in-memory byte slice — the
+// flight-recorder path, where captures are handed to the run-directory
+// manifest writer rather than streamed to disk directly.
+func Encode(hdr Header, samples []complex128) ([]byte, error) {
+	var b bytes.Buffer
+	b.Grow(24 + 8*len(samples) + 8)
+	if err := Write(&b, hdr, samples); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
 }
 
 // Read parses a capture.

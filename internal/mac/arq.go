@@ -8,6 +8,7 @@ import (
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/sim"
 	"github.com/mmtag/mmtag/internal/tag"
@@ -148,6 +149,11 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 		default:
 			res.ResidualErrors++
 			obs.Inc("mac_arq_residual_errors_total")
+			if t := signal.Active(); t != nil {
+				// The frame is lost for good: preserve its last burst in
+				// the flight recorder for post-mortem demodulation.
+				t.RecordLastBurst(signal.TriggerARQResidual)
+			}
 			obs.Observe("mac_arq_frame_latency_seconds", float64(attempt+1)*burstS)
 			if event.Enabled() {
 				event.Emit(now, event.LevelWarn, "mac.arq", "residual",

@@ -202,6 +202,25 @@ func (l *Log) CategoryCount(cat string) uint64 {
 	return l.counts[cat]
 }
 
+// CategoryCounts returns every category with retained events and its
+// count, sorted by category name — the dashboard's event summary order.
+func (l *Log) CategoryCounts() []CategoryStat {
+	l.mu.Lock()
+	out := make([]CategoryStat, 0, len(l.counts))
+	for cat, n := range l.counts {
+		out = append(out, CategoryStat{Category: cat, Count: n})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}
+
+// CategoryStat is one row of CategoryCounts.
+type CategoryStat struct {
+	Category string
+	Count    uint64
+}
+
 // Lines returns the encoded events sorted by (time, bytes) — the
 // deterministic exposition order. The returned slices are copies.
 func (l *Log) Lines() [][]byte {

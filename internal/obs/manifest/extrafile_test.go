@@ -1,0 +1,68 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteExtraFiles(t *testing.T) {
+	dir := t.TempDir()
+	reg, log := populate()
+	extras := []ExtraFile{
+		{Name: "flight_0001_crc_fail.iq", Data: []byte("iq-capture-bytes")},
+		{Name: "flight.json", Data: []byte(`[{"file":"flight_0001_crc_fail.iq"}]`)},
+	}
+	m, err := Write(dir, RunInfo{Experiment: "arq"}, reg, log, extras...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range extras {
+		got, err := os.ReadFile(filepath.Join(dir, x.Name))
+		if err != nil {
+			t.Fatalf("extra file not written: %v", err)
+		}
+		if string(got) != string(x.Data) {
+			t.Fatalf("%s content mismatch", x.Name)
+		}
+		fd, ok := m.Files[x.Name]
+		if !ok {
+			t.Fatalf("%s not digested into the manifest", x.Name)
+		}
+		if fd.Bytes != len(x.Data) || len(fd.SHA256) != 64 {
+			t.Fatalf("%s digest malformed: %+v", x.Name, fd)
+		}
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("fresh run with extras fails verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesTamperedExtra(t *testing.T) {
+	dir := t.TempDir()
+	reg, log := populate()
+	if _, err := Write(dir, RunInfo{Experiment: "arq"}, reg, log,
+		ExtraFile{Name: "flight_0001_sync_loss.iq", Data: []byte("original")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flight_0001_sync_loss.iq"), []byte("tampered!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Verify(dir)
+	if err == nil {
+		t.Fatal("verify accepted a tampered extra file")
+	}
+	if !strings.Contains(err.Error(), "flight_0001_sync_loss.iq") {
+		t.Fatalf("verify error does not name the bad file: %v", err)
+	}
+}
+
+func TestWriteRejectsPathyExtraNames(t *testing.T) {
+	reg, log := populate()
+	for _, name := range []string{"", "sub/flight.iq", "../escape.iq"} {
+		if _, err := Write(t.TempDir(), RunInfo{}, reg, log, ExtraFile{Name: name, Data: []byte("x")}); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}

@@ -91,9 +91,20 @@ type Manifest struct {
 	Files map[string]FileDigest `json:"files"`
 }
 
+// ExtraFile is an additional artifact to archive alongside the standard
+// telemetry files — e.g. the signal flight recorder's IQ captures. Each
+// is digested into the manifest the same way, so Verify covers it.
+type ExtraFile struct {
+	// Name is the file name within the run directory (no path separators).
+	Name string
+	// Data is the file contents.
+	Data []byte
+}
+
 // Write captures the registry and event log (either may be nil) into
-// dir, creating it if needed, and returns the manifest it wrote.
-func Write(dir string, info RunInfo, reg *obs.Registry, log *event.Log) (Manifest, error) {
+// dir, creating it if needed, and returns the manifest it wrote. Any
+// extra files are written and digested alongside the standard set.
+func Write(dir string, info RunInfo, reg *obs.Registry, log *event.Log, extra ...ExtraFile) (Manifest, error) {
 	m := Manifest{
 		Schema:     Schema,
 		Experiment: info.Experiment,
@@ -162,6 +173,15 @@ func Write(dir string, info RunInfo, reg *obs.Registry, log *event.Log) (Manifes
 			return m, fmt.Errorf("manifest: events: %w", err)
 		}
 		if err := write("events.jsonl", buf.Bytes()); err != nil {
+			return m, err
+		}
+	}
+
+	for _, x := range extra {
+		if x.Name == "" || filepath.Base(x.Name) != x.Name {
+			return m, fmt.Errorf("manifest: extra file name %q must be a bare file name", x.Name)
+		}
+		if err := write(x.Name, x.Data); err != nil {
 			return m, err
 		}
 	}

@@ -11,6 +11,7 @@
 //	GET /trace           finished spans (+ drop counter) as JSON
 //	GET /events          structured event log as JSON Lines
 //	GET /healthz         build info, uptime, run phase, store sizes
+//	GET /dashboard       self-contained HTML+SVG link-health dashboard
 //	GET /debug/pprof/…   the standard Go profiling suite
 //
 // Every handler reads the registry/log through their own locks, so
@@ -33,6 +34,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 )
 
 // PrometheusContentType is the content type of GET /metrics, per the
@@ -45,6 +47,7 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 type Server struct {
 	reg   *obs.Registry
 	log   *event.Log
+	sig   *signal.Tap
 	start time.Time
 	phase atomic.Value // string: what the process is currently doing
 }
@@ -55,6 +58,11 @@ func New(reg *obs.Registry, log *event.Log) *Server {
 	s.phase.Store("idle")
 	return s
 }
+
+// AttachSignal wires a signal tap into the server: /dashboard gains the
+// constellation/spectrum panels and /healthz the flight-recorder state.
+// Call before Start; a nil tap detaches.
+func (s *Server) AttachSignal(t *signal.Tap) { s.sig = t }
 
 // SetPhase records what the process is doing right now ("ber", "arq",
 // "done"); /healthz reports it so a watcher can follow a long sweep.
@@ -76,9 +84,24 @@ type Health struct {
 	MetricSeries int `json:"metric_series"`
 	Spans        int `json:"spans"`
 	Events       int `json:"events"`
-	// DroppedSpans / DroppedEvents flag truncated stores.
+	// DroppedSpans / DroppedEvents flag truncated stores;
+	// SampledEvents counts events removed by per-category sampling. A
+	// rising DroppedEvents means the telemetry is silently lossy — the
+	// liveness check is expected to alert on it.
 	DroppedSpans  uint64 `json:"dropped_spans"`
 	DroppedEvents uint64 `json:"dropped_events"`
+	SampledEvents uint64 `json:"sampled_events"`
+	// Scrapes totals serve_requests_total across endpoints (0 when no
+	// registry is attached).
+	Scrapes float64 `json:"scrapes"`
+	// TapBursts counts bursts committed through the signal tap;
+	// FlightOccupied/FlightCapacity report the flight-recorder ring state
+	// (−1 = no tap attached) and FlightTriggers the cumulative number of
+	// recorded failures.
+	TapBursts      uint64 `json:"tap_bursts"`
+	FlightOccupied int    `json:"flight_occupied"`
+	FlightCapacity int    `json:"flight_capacity"`
+	FlightTriggers uint64 `json:"flight_triggers"`
 }
 
 // health assembles the current Health.
@@ -93,16 +116,26 @@ func (s *Server) health() Health {
 		MetricSeries: -1,
 		Spans:        -1,
 		Events:       -1,
+
+		FlightOccupied: -1,
+		FlightCapacity: -1,
 	}
 	if s.reg != nil {
 		snap := s.reg.Snapshot()
 		h.MetricSeries = snap.SeriesCount()
 		h.Spans = len(snap.Spans)
 		h.DroppedSpans = snap.DroppedSpans
+		if c, ok := snap.Counter("serve_requests_total"); ok {
+			h.Scrapes = c
+		}
 	}
 	if s.log != nil {
 		h.Events = s.log.Len()
-		h.DroppedEvents, _ = s.log.Dropped()
+		h.DroppedEvents, h.SampledEvents = s.log.Dropped()
+	}
+	if s.sig != nil {
+		h.TapBursts = s.sig.Bursts()
+		h.FlightOccupied, h.FlightCapacity, h.FlightTriggers = s.sig.FlightStats()
 	}
 	return h
 }
@@ -172,6 +205,11 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Write(append(data, '\n'))
 	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/dashboard")
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, s.dashboardHTML())
+	})
 	// The pprof suite, mounted explicitly rather than via the package's
 	// DefaultServeMux side effect: Index also serves the named lookup
 	// profiles (heap, goroutine, block, mutex, allocs, threadcreate).
@@ -193,6 +231,7 @@ func (s *Server) Handler() http.Handler {
 			"  /trace          span trace (JSON)\n"+
 			"  /events         structured event log (JSONL)\n"+
 			"  /healthz        liveness + run phase\n"+
+			"  /dashboard      live link-health dashboard (HTML)\n"+
 			"  /debug/pprof/   Go profiling suite\n")
 	})
 	return mux

@@ -1,0 +1,112 @@
+package signal
+
+import (
+	"math"
+
+	"github.com/mmtag/mmtag/internal/iqfile"
+)
+
+// entry is one flight-recorder ring slot. The iq buffer is reused
+// across overwrites so a warmed ring records with zero allocations.
+type entry struct {
+	used         bool
+	seq          uint64
+	trigger      string
+	iq           []complex128
+	sampleRateHz float64
+	carrierHz    float64
+	bandwidth    string
+	mcs          string
+	snrDB        float64
+}
+
+// recorder is a bounded ring of failing-burst IQ captures. It is not
+// self-locking: the owning Tap serializes access under its mutex.
+type recorder struct {
+	cap      int
+	entries  []entry
+	next     int
+	triggers uint64
+}
+
+func newRecorder(k int) *recorder {
+	return &recorder{cap: k, entries: make([]entry, k)}
+}
+
+func (r *recorder) record(trigger string, iq []complex128, sampleRateHz, carrierHz float64, bandwidth, mcs string, snrDB float64) {
+	r.triggers++
+	e := &r.entries[r.next]
+	r.next = (r.next + 1) % r.cap
+	e.used = true
+	e.seq = r.triggers
+	e.trigger = trigger
+	e.iq = append(e.iq[:0], iq...)
+	e.sampleRateHz = sampleRateHz
+	e.carrierHz = carrierHz
+	e.bandwidth = bandwidth
+	e.mcs = mcs
+	// Sync losses have no SNR estimate; store 0 (dropped by omitempty)
+	// rather than NaN, which JSON cannot represent.
+	if math.IsNaN(snrDB) || math.IsInf(snrDB, 0) {
+		snrDB = 0
+	}
+	e.snrDB = snrDB
+}
+
+func (r *recorder) occupied() int {
+	n := 0
+	for i := range r.entries {
+		if r.entries[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// files serializes the retained captures, oldest first, plus the
+// flight.json index.
+func (r *recorder) files() ([]File, error) {
+	// Ring order: the oldest retained entry is at next when the ring has
+	// wrapped, else at 0.
+	var ordered []*entry
+	for i := 0; i < r.cap; i++ {
+		e := &r.entries[(r.next+i)%r.cap]
+		if e.used {
+			ordered = append(ordered, e)
+		}
+	}
+	if len(ordered) == 0 {
+		return nil, nil
+	}
+	files := make([]File, 0, len(ordered)+1)
+	metas := make([]flightMeta, 0, len(ordered))
+	for _, e := range ordered {
+		name := flightName(e.seq, e.trigger)
+		data, err := iqfile.Encode(iqfile.Header{
+			SampleRateHz: e.sampleRateHz,
+			CarrierHz:    e.carrierHz,
+			Samples:      uint64(len(e.iq)),
+		}, e.iq)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, File{Name: name, Data: data})
+		metas = append(metas, flightMeta{
+			File:         name,
+			Trigger:      e.trigger,
+			Seq:          e.seq,
+			Samples:      len(e.iq),
+			SampleRateHz: e.sampleRateHz,
+			CarrierHz:    e.carrierHz,
+			Bandwidth:    e.bandwidth,
+			MCS:          e.mcs,
+			SNRdB:        e.snrDB,
+		})
+	}
+	idx, err := marshalFlightIndex(metas)
+	if err != nil {
+		return nil, err
+	}
+	files = append(files, File{Name: "flight.json", Data: idx})
+	return files, nil
+}

@@ -1,0 +1,88 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// DecisionQuality summarizes how healthy a burst's decision statistics
+// are: the estimated amplitude rails, the error vector magnitude against
+// them, and the per-symbol soft margins around the slicer threshold. It
+// is the scalar telemetry the signal-tap layer records per burst.
+type DecisionQuality struct {
+	// RailLo / RailHi are the estimated low/high amplitude cluster means.
+	RailLo, RailHi float64
+	// EVMPct is the RMS deviation of each decision magnitude from its
+	// nearest rail, as a percentage of the rail separation.
+	EVMPct float64
+	// MinMargin / MeanMargin are the per-symbol distances |m − threshold|
+	// normalized by half the rail separation: 1.0 means a symbol sits
+	// exactly on its rail, 0 means it touches the threshold.
+	MinMargin, MeanMargin float64
+}
+
+// MeasureDecisionQuality computes DecisionQuality over slicer-input
+// decisions. threshold is the adaptive OOK decision threshold; pass 0 (or
+// any non-positive value) to derive one from the midpoint of the extreme
+// magnitudes (the 4-ASK path, which has no single threshold). The
+// function allocates nothing: it makes three scalar passes over the
+// decisions, computing magnitudes on the fly.
+func MeasureDecisionQuality(decisions []complex128, threshold float64) (DecisionQuality, error) {
+	var q DecisionQuality
+	if len(decisions) == 0 {
+		return q, fmt.Errorf("phy: no decisions to measure")
+	}
+	mag := func(c complex128) float64 {
+		return math.Sqrt(real(c)*real(c) + imag(c)*imag(c))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range decisions {
+		m := mag(c)
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	thr := threshold
+	if !(thr > 0) {
+		thr = (lo + hi) / 2
+	}
+	var muL, muH float64
+	var nL, nH int
+	for _, c := range decisions {
+		if m := mag(c); m >= thr {
+			muH += m
+			nH++
+		} else {
+			muL += m
+			nL++
+		}
+	}
+	if nL == 0 || nH == 0 {
+		return q, fmt.Errorf("phy: decisions are unimodal; cannot estimate rails")
+	}
+	muL /= float64(nL)
+	muH /= float64(nH)
+	sep := muH - muL
+	if sep <= 0 {
+		return q, fmt.Errorf("phy: degenerate rails (separation %g)", sep)
+	}
+	q.RailLo, q.RailHi = muL, muH
+	half := sep / 2
+	var devSq, marginSum float64
+	minMargin := math.Inf(1)
+	for _, c := range decisions {
+		m := mag(c)
+		rail := muL
+		if m >= thr {
+			rail = muH
+		}
+		d := m - rail
+		devSq += d * d
+		margin := math.Abs(m-thr) / half
+		marginSum += margin
+		minMargin = math.Min(minMargin, margin)
+	}
+	q.EVMPct = math.Sqrt(devSq/float64(len(decisions))) / sep * 100
+	q.MinMargin = minMargin
+	q.MeanMargin = marginSum / float64(len(decisions))
+	return q, nil
+}

@@ -1,0 +1,105 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+// rails builds decisions sitting exactly on two amplitude rails.
+func rails(lo, hi float64, n int) []complex128 {
+	out := make([]complex128, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, complex(lo, 0), complex(0, hi))
+	}
+	return out
+}
+
+func TestMeasureDecisionQualityCleanRails(t *testing.T) {
+	dec := rails(0.2, 1.0, 8)
+	q, err := MeasureDecisionQuality(dec, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.RailLo-0.2) > 1e-12 || math.Abs(q.RailHi-1.0) > 1e-12 {
+		t.Fatalf("rails = %g, %g, want 0.2, 1.0", q.RailLo, q.RailHi)
+	}
+	// Every decision sits exactly on its rail: zero EVM, and the margin
+	// |m − thr| / (sep/2) = 0.4/0.4 = 1 for both rails.
+	if q.EVMPct > 1e-9 {
+		t.Fatalf("EVM = %g%% on clean rails", q.EVMPct)
+	}
+	if math.Abs(q.MinMargin-1) > 1e-12 || math.Abs(q.MeanMargin-1) > 1e-12 {
+		t.Fatalf("margins = %g, %g, want 1, 1", q.MinMargin, q.MeanMargin)
+	}
+}
+
+func TestMeasureDecisionQualityDerivedThreshold(t *testing.T) {
+	// threshold <= 0 derives the midpoint of the extreme magnitudes
+	// (0.2+1.0)/2 = 0.6 — the 4-ASK path.
+	dec := rails(0.2, 1.0, 4)
+	q, err := MeasureDecisionQuality(dec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MeasureDecisionQuality(dec, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != want {
+		t.Fatalf("derived-threshold quality %+v != explicit %+v", q, want)
+	}
+}
+
+func TestMeasureDecisionQualityNoisyRails(t *testing.T) {
+	// Perturb the rails symmetrically: EVM grows, margins shrink below 1,
+	// but rail means stay centered.
+	dec := []complex128{
+		complex(0.18, 0), complex(0.22, 0),
+		complex(0.95, 0), complex(1.05, 0),
+	}
+	q, err := MeasureDecisionQuality(dec, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.RailLo-0.2) > 1e-12 || math.Abs(q.RailHi-1.0) > 1e-12 {
+		t.Fatalf("rails = %g, %g", q.RailLo, q.RailHi)
+	}
+	if q.EVMPct <= 0 || q.EVMPct > 20 {
+		t.Fatalf("EVM = %g%%, want small positive", q.EVMPct)
+	}
+	if q.MinMargin >= q.MeanMargin || q.MinMargin <= 0 {
+		t.Fatalf("margins = %g min, %g mean", q.MinMargin, q.MeanMargin)
+	}
+	// Closest symbol is 0.95: margin = 0.35/0.4 = 0.875.
+	if math.Abs(q.MinMargin-0.875) > 1e-9 {
+		t.Fatalf("MinMargin = %g, want 0.875", q.MinMargin)
+	}
+}
+
+func TestMeasureDecisionQualityErrors(t *testing.T) {
+	if _, err := MeasureDecisionQuality(nil, 0.5); err == nil {
+		t.Error("no error on empty decisions")
+	}
+	// All magnitudes on one side of the threshold: unimodal.
+	uni := []complex128{1, complex(1.01, 0), complex(0.99, 0)}
+	if _, err := MeasureDecisionQuality(uni, 0.5); err == nil {
+		t.Error("no error on unimodal decisions")
+	}
+	// Identical magnitudes with a derived threshold split at the midpoint
+	// still collapse to zero separation on one side.
+	flat := []complex128{1, 1, 1, 1}
+	if _, err := MeasureDecisionQuality(flat, 0); err == nil {
+		t.Error("no error on flat decisions")
+	}
+}
+
+func TestMeasureDecisionQualityAllocs(t *testing.T) {
+	dec := rails(0.2, 1.0, 32)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := MeasureDecisionQuality(dec, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("MeasureDecisionQuality allocates %.1f/op", allocs)
+	}
+}

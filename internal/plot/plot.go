@@ -10,13 +10,16 @@ import (
 	"strings"
 )
 
-// Series is one polyline.
+// Series is one polyline (or point cloud, when Points is set).
 type Series struct {
 	Name string
 	X, Y []float64
 	// Dashed draws the series with a dash pattern (used for noise
 	// floors / reference lines).
 	Dashed bool
+	// Points draws markers instead of a connected polyline — used for
+	// scatter plots such as the dashboard's constellation snapshot.
+	Points bool
 }
 
 // Chart is a 2-D line chart.
@@ -110,22 +113,41 @@ func (c Chart) SVG() (string, error) {
 	// Series + legend.
 	for i, s := range c.Series {
 		color := palette[i%len(palette)]
-		var pts []string
-		for j := range s.X {
-			if math.IsInf(s.Y[j], 0) || math.IsNaN(s.Y[j]) {
-				continue
+		if s.Points {
+			for j := range s.X {
+				if math.IsInf(s.Y[j], 0) || math.IsNaN(s.Y[j]) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.6"/>`+"\n",
+					sx(s.X[j]), sy(s.Y[j]), color)
 			}
-			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+		} else {
+			var pts []string
+			for j := range s.X {
+				if math.IsInf(s.Y[j], 0) || math.IsNaN(s.Y[j]) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
 		}
-		dash := ""
-		if s.Dashed {
-			dash = ` stroke-dasharray="6,4"`
-		}
-		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
-			strings.Join(pts, " "), color, dash)
 		ly := mTop + 14 + i*18
-		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
-			mLeft+pw+10, ly-4, mLeft+pw+34, ly-4, color, dash)
+		if s.Points {
+			fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="3" fill="%s"/>`+"\n",
+				mLeft+pw+22, ly-4, color)
+		} else {
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+				mLeft+pw+10, ly-4, mLeft+pw+34, ly-4, color, dash)
+		}
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
 			mLeft+pw+38, ly, escape(s.Name))
 	}

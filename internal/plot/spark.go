@@ -1,0 +1,64 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sparkline renders values (oldest first) as a minimal inline SVG: a
+// single polyline with no axes, plus a dot on the latest value. It is
+// the dashboard's compact trend widget. Non-finite values are skipped;
+// fewer than two finite values render an empty frame.
+func Sparkline(values []float64, w, h int) string {
+	if w <= 0 {
+		w = 240
+	}
+	if h <= 0 {
+		h = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fafafa" stroke="#ddd"/>`)
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		finite++
+	}
+	if finite >= 2 {
+		if hi <= lo {
+			// Flat series: center it.
+			lo, hi = lo-1, hi+1
+		}
+		pad := (hi - lo) * 0.1
+		lo, hi = lo-pad, hi+pad
+		const inset = 3.0
+		sx := func(i int) float64 {
+			return inset + float64(i)/float64(len(values)-1)*(float64(w)-2*inset)
+		}
+		sy := func(v float64) float64 {
+			return inset + (1-(v-lo)/(hi-lo))*(float64(h)-2*inset)
+		}
+		var pts []string
+		lastIdx := -1
+		for i, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(i), sy(v)))
+			lastIdx = i
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#1f77b4" stroke-width="1.5"/>`,
+			strings.Join(pts, " "))
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#d62728"/>`,
+			sx(lastIdx), sy(values[lastIdx]))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}

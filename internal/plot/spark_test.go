@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineWellFormed(t *testing.T) {
+	svg := Sparkline([]float64{1, 3, 2, 5, 4}, 240, 40)
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="240" height="40"`,
+		"<polyline points=",
+		"<circle",
+		"</svg>",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("sparkline missing %q:\n%s", want, svg)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Error("sparkline is not a single SVG document")
+	}
+}
+
+func TestSparklineDefaults(t *testing.T) {
+	svg := Sparkline([]float64{0, 1}, 0, 0)
+	if !strings.Contains(svg, `width="240" height="40"`) {
+		t.Errorf("non-positive dims did not fall back to defaults:\n%s", svg)
+	}
+}
+
+func TestSparklineSkipsNonFinite(t *testing.T) {
+	svg := Sparkline([]float64{1, math.NaN(), 3, math.Inf(1), 2}, 120, 30)
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("three finite values should still draw a polyline")
+	}
+	// The polyline carries exactly the three finite points.
+	start := strings.Index(svg, `points="`) + len(`points="`)
+	end := strings.Index(svg[start:], `"`)
+	if n := len(strings.Fields(svg[start : start+end])); n != 3 {
+		t.Errorf("polyline has %d points, want 3", n)
+	}
+}
+
+func TestSparklineTooFewValues(t *testing.T) {
+	for name, values := range map[string][]float64{
+		"empty":      nil,
+		"single":     {5},
+		"one_finite": {5, math.NaN()},
+		"all_nonfin": {math.NaN(), math.Inf(-1)},
+	} {
+		svg := Sparkline(values, 100, 20)
+		if strings.Contains(svg, "<polyline") || strings.Contains(svg, "<circle") {
+			t.Errorf("%s: rendered data with <2 finite values:\n%s", name, svg)
+		}
+		if !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: not a closed SVG frame", name)
+		}
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero — it renders centered.
+	svg := Sparkline([]float64{2, 2, 2, 2}, 100, 20)
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("flat series did not render")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatalf("flat series produced non-finite coordinates:\n%s", svg)
+	}
+}
+
+func TestChartPointsSeries(t *testing.T) {
+	c := Chart{
+		Title: "constellation",
+		Series: []Series{{
+			Name:   "decisions",
+			X:      []float64{0.1, 0.9, 0.12, 0.95},
+			Y:      []float64{0, 0.01, -0.01, 0},
+			Points: true,
+		}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point series draw one marker per sample (plus one legend marker),
+	// and no connecting polyline for the data.
+	if got := strings.Count(svg, "<circle"); got != 5 {
+		t.Errorf("point series drew %d circles, want 4 data + 1 legend", got)
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Errorf("point series drew a polyline:\n%s", svg)
+	}
+}

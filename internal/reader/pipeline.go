@@ -10,6 +10,7 @@ import (
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/phy"
 )
 
@@ -36,6 +37,18 @@ type RxStats struct {
 	// BitErrors counts header+payload bit flips when the caller knows the
 	// truth (filled by the link layer, not here).
 	BitErrors int
+	// SyncOffset is the detected burst start in samples.
+	SyncOffset int
+	// Decisions are the slicer-input decision statistics of the final
+	// decide pass. The slice is workspace-backed: valid only until the
+	// owning workspace's next Reset (copy to keep).
+	Decisions []complex128
+	// Quality holds slicer-input quality scalars measured by the signal
+	// tap; HasQuality reports whether a tap was active and the burst was
+	// measurable. Without an active tap both stay zero — the measurement
+	// is skipped entirely to keep the taps-disabled path free.
+	Quality    phy.DecisionQuality
+	HasQuality bool
 }
 
 // DecideOOK makes hard OOK decisions with an adaptive two-cluster
@@ -181,6 +194,10 @@ func DecodeBurstWS(ws *dsp.Workspace, samples []complex128, w phy.Waveform) (*fr
 		return nil, stats, fmt.Errorf("%w: %v", ErrSync, err)
 	}
 	stats.PreambleMetric = metric
+	stats.SyncOffset = start
+	if t := signal.Active(); t != nil {
+		t.Sync(start, metric)
+	}
 	obs.Observe("reader_preamble_metric", metric)
 	if event.Enabled() {
 		event.Emit(0, event.LevelDebug, "reader.demod", "sync",
@@ -246,6 +263,10 @@ func DecodeBurstWS(ws *dsp.Workspace, samples []complex128, w phy.Waveform) (*fr
 		bits = ws.Bytes(len(headerBits) + len(payloadBits))
 		copy(bits, headerBits)
 		copy(bits[len(headerBits):], payloadBits)
+		stats.Decisions = decRest
+		if t := signal.Active(); t != nil {
+			stats.Quality, stats.HasQuality = t.SlicerInput(decRest, 0)
+		}
 		if snr, err := phy.MeasureSNRWS(ws, dec); err == nil {
 			stats.SNRdBEst = snr
 		} else {
@@ -264,6 +285,10 @@ func DecodeBurstWS(ws *dsp.Workspace, samples []complex128, w phy.Waveform) (*fr
 			return nil, stats, err
 		}
 		stats.Threshold = thr
+		stats.Decisions = all
+		if t := signal.Active(); t != nil {
+			stats.Quality, stats.HasQuality = t.SlicerInput(all, thr)
+		}
 		if snr, err := phy.MeasureSNRWS(ws, all); err == nil {
 			stats.SNRdBEst = snr
 		} else {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/cmplx"
+	"reflect"
 	"testing"
 
 	"github.com/mmtag/mmtag/internal/frame"
@@ -122,7 +123,10 @@ func TestPipelineReuseMatchesOneShot(t *testing.T) {
 		if got.Header.TagID != want.Header.TagID || !bytes.Equal(got.Payload.Data, want.Payload.Data) {
 			t.Fatalf("call %d: decoded frame diverged from one-shot decode", i)
 		}
-		if stats != wantStats {
+		// RxStats carries the (workspace-backed) decision slice since the
+		// signal-tap PR, so the struct is no longer ==-comparable;
+		// DeepEqual compares the slice contents along with the scalars.
+		if !reflect.DeepEqual(stats, wantStats) {
 			t.Fatalf("call %d: stats %+v, want %+v", i, stats, wantStats)
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
 	"github.com/mmtag/mmtag/internal/obs/serve"
+	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
@@ -108,8 +109,12 @@ type (
 	RunManifest = manifest.Manifest
 	// RunInfo describes a run for WriteRunDir.
 	RunInfo = manifest.RunInfo
-	// TelemetryServer answers live /metrics, /trace, /events, /healthz
-	// and /debug/pprof/ queries; see ServeTelemetry.
+	// SignalTap is the signal-level observability sink: per-burst scalar
+	// telemetry, the last-burst snapshot and the flight recorder; see
+	// EnableSignalTaps.
+	SignalTap = signal.Tap
+	// TelemetryServer answers live /metrics, /trace, /events, /healthz,
+	// /dashboard and /debug/pprof/ queries; see ServeTelemetry.
 	TelemetryServer = serve.Server
 	// RunningTelemetry is a started telemetry listener (Close to stop).
 	RunningTelemetry = serve.Running
@@ -166,13 +171,39 @@ func EventsEnabled() bool { return event.Enabled() }
 // its entries) is dropped.
 func DisableEvents() { event.Disable() }
 
+// EnableSignalTaps turns on the signal-level observability taps (SNR,
+// EVM, sync offset, soft-margin histograms plus the dashboard's
+// last-burst snapshot), enabling them on first call. flightRecorderK > 0
+// additionally attaches a flight recorder retaining the K most recent
+// failing bursts as IQ captures (CRC fail, sync loss, ARQ residual,
+// rate-adapt downshift); WriteRunDir archives them with digests.
+func EnableSignalTaps(flightRecorderK int) *SignalTap {
+	t := signal.Enable()
+	if flightRecorderK > 0 {
+		t.SetFlightRecorder(flightRecorderK)
+	}
+	return t
+}
+
+// SignalTapsEnabled reports whether the signal taps are on.
+func SignalTapsEnabled() bool { return signal.Enabled() }
+
+// DisableSignalTaps turns the signal taps back off; the previous tap
+// (and its flight-recorder contents) is dropped.
+func DisableSignalTaps() { signal.Disable() }
+
 // ServeTelemetry starts the live telemetry HTTP server on addr (":0"
 // picks a free port), enabling metrics and event collection if needed.
-// It serves /metrics, /metrics.json, /trace, /events, /healthz and
-// /debug/pprof/ until Close, reading concurrently with any running
-// simulation. The returned server's SetPhase labels /healthz.
+// It serves /metrics, /metrics.json, /trace, /events, /healthz,
+// /dashboard and /debug/pprof/ until Close, reading concurrently with
+// any running simulation. An active signal tap (EnableSignalTaps) is
+// attached automatically so the dashboard gains the constellation and
+// spectrum panels. The returned server's SetPhase labels /healthz.
 func ServeTelemetry(addr string) (*TelemetryServer, *RunningTelemetry, error) {
 	s := serve.New(Metrics(), Events())
+	if t := signal.Active(); t != nil {
+		s.AttachSignal(t)
+	}
 	run, err := s.Start(addr)
 	if err != nil {
 		return nil, nil, err
@@ -183,9 +214,22 @@ func ServeTelemetry(addr string) (*TelemetryServer, *RunningTelemetry, error) {
 // WriteRunDir captures the active metrics registry and event log (either
 // may be disabled) into dir as a self-describing run manifest:
 // manifest.json, metrics.json, trace.json and events.jsonl, with SHA-256
-// digests of every artifact recorded in the manifest.
+// digests of every artifact recorded in the manifest. When signal taps
+// are enabled with a flight recorder, its IQ captures (flight_*.iq plus
+// the flight.json index) are archived and digested alongside, so
+// VerifyRunDir covers them too.
 func WriteRunDir(dir string, info RunInfo) (RunManifest, error) {
-	return manifest.Write(dir, info, obs.Active(), event.Active())
+	var extra []manifest.ExtraFile
+	if t := signal.Active(); t != nil {
+		files, err := t.FlightFiles()
+		if err != nil {
+			return RunManifest{}, err
+		}
+		for _, f := range files {
+			extra = append(extra, manifest.ExtraFile{Name: f.Name, Data: f.Data})
+		}
+	}
+	return manifest.Write(dir, info, obs.Active(), event.Active(), extra...)
 }
 
 // VerifyRunDir re-hashes every artifact a run directory's manifest lists

@@ -22,13 +22,21 @@
 //	          [-require-speedup 2.0] [-speedup-min-cpus 4] [-allow-missing]
 //	          [-alloc-tolerance 0.10] [-alloc-slack 2]
 //	          [-require-sweep-speedup 1.0]
+//	benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
 //
-// mmtag-bench/2 (parallel sweeps), mmtag-bench/3 (event-log overhead)
-// and mmtag-bench/4 (allocation profile) files are accepted; the two
-// files must share a schema. Pass -require-speedup 0 for files that make
-// no parallel-speedup claim (BENCH_3.json), and -allow-missing to
-// tolerate benchmarks present in the baseline but absent from the fresh
-// run (e.g. a baseline generated by a newer tree).
+// mmtag-bench/2 (parallel sweeps), mmtag-bench/3 (event-log overhead),
+// mmtag-bench/4 (allocation profile) and mmtag-bench/5 (signal-tap
+// overhead) files are accepted; the two files must share a schema. Pass
+// -require-speedup 0 for files that make no parallel-speedup claim
+// (BENCH_3.json), and -allow-missing to tolerate benchmarks present in
+// the baseline but absent from the fresh run (e.g. a baseline generated
+// by a newer tree).
+//
+// -trend switches to report mode: instead of gating a pair, it reads
+// every file named on the command line (any mmtag-bench/* schema) and
+// prints a markdown table of ns/op — and, where recorded, allocs/op —
+// per benchmark across the whole BENCH_N.json history, so a PR's perf
+// story is visible at a glance. Trend mode never fails the build.
 package main
 
 import (
@@ -73,11 +81,17 @@ func load(path string) (benchFile, error) {
 		return f, fmt.Errorf("%s: %w", path, err)
 	}
 	switch f.Schema {
-	case "mmtag-bench/2", "mmtag-bench/3", "mmtag-bench/4":
+	case "mmtag-bench/2", "mmtag-bench/3", "mmtag-bench/4", "mmtag-bench/5":
 	default:
-		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/2, /3 or /4", path, f.Schema)
+		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/2, /3, /4 or /5", path, f.Schema)
 	}
 	return f, nil
+}
+
+// hasAllocGate reports whether a schema records allocs/op on every
+// benchmark (so the unscaled allocation gate is meaningful).
+func hasAllocGate(schema string) bool {
+	return schema == "mmtag-bench/4" || schema == "mmtag-bench/5"
 }
 
 func (f benchFile) lookup(name string) (record, bool) {
@@ -99,7 +113,15 @@ func main() {
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "maximum fractional allocs/op regression (mmtag-bench/4 files only)")
 	allocSlack := flag.Float64("alloc-slack", 2, "absolute allocs/op headroom on top of the tolerance (absorbs testing.B jitter on tiny counts)")
 	requireSweepSpeedup := flag.Float64("require-sweep-speedup", 0, "minimum AngleSweep speedup at 4 workers; <= 0 skips (asserted only at speedup-min-cpus)")
+	trendMode := flag.Bool("trend", false, "report mode: print a markdown trend table across the BENCH_N.json files named as arguments (never fails)")
 	flag.Parse()
+	if *trendMode {
+		if err := trend(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
 		os.Exit(2)
@@ -158,9 +180,10 @@ func main() {
 	}
 
 	// Allocation gate: allocs/op is deterministic (no machine scaling),
-	// so it is compared raw. Only mmtag-bench/4 files record it; on older
-	// schemas a zero count means "not measured", so the gate is skipped.
-	if base.Schema == "mmtag-bench/4" {
+	// so it is compared raw. Only mmtag-bench/4 and /5 files record it;
+	// on older schemas a zero count means "not measured", so the gate is
+	// skipped.
+	if hasAllocGate(base.Schema) {
 		fmt.Printf("\n%-34s %14s %14s  %s\n", "benchmark", "base allocs", "fresh allocs", "alloc gate")
 		for _, b := range base.Benchmarks {
 			f, ok := fresh.lookup(b.Name)
@@ -221,4 +244,111 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// trend renders the cross-schema markdown report: one ns/op table over
+// every benchmark seen in any input file (rows in first-seen order,
+// columns in argument order), then an allocs/op table restricted to the
+// files whose schema records allocation counts.
+func trend(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-trend needs at least one BENCH_N.json argument")
+	}
+	type column struct {
+		path string
+		file benchFile
+	}
+	cols := make([]column, 0, len(paths))
+	for _, p := range paths {
+		f, err := load(p)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, column{path: p, file: f})
+	}
+
+	// Union of benchmark names, in first-seen order across the history.
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		for _, r := range c.file.Benchmarks {
+			if !seen[r.Name] {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+
+	fmt.Println("## Benchmark trend (ns/op)")
+	fmt.Println()
+	fmt.Print("| benchmark |")
+	for _, c := range cols {
+		fmt.Printf(" %s (%s) |", c.path, c.file.Schema)
+	}
+	fmt.Println()
+	fmt.Print("|---|")
+	for range cols {
+		fmt.Print("---:|")
+	}
+	fmt.Println()
+	for _, name := range names {
+		fmt.Printf("| %s |", name)
+		for _, c := range cols {
+			if r, ok := c.file.lookup(name); ok && r.NsPerOp > 0 {
+				fmt.Printf(" %.0f |", r.NsPerOp)
+			} else {
+				fmt.Print(" – |")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Print("| *mc speedup (4w)* |")
+	for _, c := range cols {
+		if c.file.MCSpeedup4W > 0 {
+			fmt.Printf(" %.2fx |", c.file.MCSpeedup4W)
+		} else {
+			fmt.Print(" – |")
+		}
+	}
+	fmt.Println()
+
+	// Allocation columns exist only where the schema records them.
+	var allocCols []column
+	for _, c := range cols {
+		if hasAllocGate(c.file.Schema) {
+			allocCols = append(allocCols, c)
+		}
+	}
+	if len(allocCols) == 0 {
+		return nil
+	}
+	fmt.Println()
+	fmt.Println("## Allocation trend (allocs/op)")
+	fmt.Println()
+	fmt.Print("| benchmark |")
+	for _, c := range allocCols {
+		fmt.Printf(" %s |", c.path)
+	}
+	fmt.Println()
+	fmt.Print("|---|")
+	for range allocCols {
+		fmt.Print("---:|")
+	}
+	fmt.Println()
+	for _, name := range names {
+		any := false
+		row := fmt.Sprintf("| %s |", name)
+		for _, c := range allocCols {
+			if r, ok := c.file.lookup(name); ok {
+				row += fmt.Sprintf(" %.1f |", r.AllocsPerOp)
+				any = true
+			} else {
+				row += " – |"
+			}
+		}
+		if any {
+			fmt.Println(row)
+		}
+	}
+	return nil
 }
