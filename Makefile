@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-trend vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-trend vet fmt experiments figures clean
 
 all: build test
 
@@ -53,6 +53,13 @@ BENCH5_OUT ?= $(CURDIR)/BENCH_5.json
 bench-json5:
 	MMTAG_BENCH5_JSON=$(BENCH5_OUT) $(GO) test -run 'TestWriteBenchJSON5' -v .
 
+# Machine-readable frequency-domain fast-path benchmarks (BENCH_6.json):
+# overlap-save convolution, radix-4 vs radix-2 FFT, real-input FFT, FFT
+# preamble search and batched demodulation, with allocs/op recorded.
+BENCH6_OUT ?= $(CURDIR)/BENCH_6.json
+bench-json6:
+	MMTAG_BENCH6_JSON=$(BENCH6_OUT) $(GO) test -run 'TestWriteBenchJSON6' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
@@ -77,9 +84,22 @@ bench-gate5:
 	$(MAKE) bench-json5 BENCH5_OUT=/tmp/mmtag_bench5_fresh.json
 	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_5.json -fresh /tmp/mmtag_bench5_fresh.json -require-speedup 0 -tolerance 0.40
 
+# Frequency-domain fast-path gate: beyond the usual machine-scaled
+# ns/op + raw allocs/op comparison, the -ratio gates assert the PR's
+# headline speedups inside the fresh run itself (both sides measured on
+# the same machine, so no calibration noise): FFT convolution ≥ 5× over
+# the direct 63-tap block filter, and the radix-4 plan ahead of the
+# plain radix-2 kernel.
+bench-gate6:
+	$(MAKE) bench-json6 BENCH6_OUT=/tmp/mmtag_bench6_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_6.json -fresh /tmp/mmtag_bench6_fresh.json \
+		-require-speedup 0 -tolerance 0.40 \
+		-ratio "fir_block_inplace/fir_fft_block_ws>=5" \
+		-ratio "fft_radix2_1024/fft_radix4_1024_ws>=1.2"
+
 # Markdown trend table across the whole BENCH_N.json history.
 bench-trend:
-	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
+	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
 
 vet:
 	$(GO) vet ./...

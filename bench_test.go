@@ -15,12 +15,14 @@ import (
 
 	"github.com/mmtag/mmtag"
 	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 	"github.com/mmtag/mmtag/internal/vanatta"
@@ -624,7 +626,11 @@ func TestWriteBenchJSON3(t *testing.T) {
 // CI via BENCH_4.json.
 
 // BenchmarkFFTRadix2WS measures a 1024-point in-place FFT+IFFT pair
-// through a workspace (power-of-two path, no plan needed).
+// through a workspace. Since the frequency-domain fast-path PR the
+// workspace power-of-two dispatch runs the cached mixed radix-4 plan,
+// so this record now tracks that plan; the BENCH_4 record name is kept
+// for baseline continuity, and BENCH_6 carries the explicit
+// radix-2-kernel vs radix-4-plan comparison.
 func BenchmarkFFTRadix2WS(b *testing.B) {
 	ws := dsp.NewWorkspace()
 	buf := make([]complex128, 1024)
@@ -1169,6 +1175,268 @@ func TestWriteBenchJSON5(t *testing.T) {
 		GoVersion:       runtime.Version(),
 		Benchmarks:      records,
 		TapsOverheadPct: overheadPct(nop.NsPerOp, taps.NsPerOp),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Frequency-domain fast-path benchmarks (BENCH_6.json): the overlap-save
+// convolution, real-input FFT, radix-4 kernel and FFT preamble-search
+// figures, plus the batched demodulation path. The headline claims —
+// FFT convolution beats the direct 63-tap block filter by the gated
+// factor, and the radix-4 plan beats the plain radix-2 kernel — are
+// enforced in CI by benchgate's -ratio gates over these records.
+
+// BenchmarkFFTRadix2Kernel measures the plain iterative radix-2 kernel
+// (package-level FFTInPlace, no workspace, no plan) on a 1024-point
+// FFT+IFFT pair — the baseline the cached radix-4 plan is gated against.
+func BenchmarkFFTRadix2Kernel(b *testing.B) {
+	buf := make([]complex128, 1024)
+	for i := range buf {
+		buf[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.FFTInPlace(buf)
+		dsp.IFFTInPlace(buf)
+	}
+}
+
+// BenchmarkFFTRadix4WS measures the same 1024-point FFT+IFFT pair
+// through a workspace, which dispatches to the cached mixed radix-4
+// plan (gathered permutation + radix-4 butterfly ladder).
+func BenchmarkFFTRadix4WS(b *testing.B) {
+	ws := dsp.NewWorkspace()
+	buf := make([]complex128, 1024)
+	for i := range buf {
+		buf[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	ws.FFTInPlace(buf) // warm the plan cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.FFTInPlace(buf)
+		ws.IFFTInPlace(buf)
+	}
+}
+
+// BenchmarkRFFTWS measures the packed real-input transform on 4096
+// reals (the periodogram/envelope-correlation workload): one length-2048
+// complex FFT plus the unpack recursion instead of a length-4096
+// complex transform.
+func BenchmarkRFFTWS(b *testing.B) {
+	ws := dsp.NewWorkspace()
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	dsp.RFFTWS(ws, x) // warm the plan cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		dsp.RFFTWS(ws, x)
+	}
+}
+
+// BenchmarkFIRFFTBlockWS measures the frequency-domain block filter on
+// exactly the BenchmarkFIRBlockInPlace workload (63-tap lowpass over a
+// 4096-sample block) — the pair the FFT-convolution speedup gate reads.
+func BenchmarkFIRFFTBlockWS(b *testing.B) {
+	taps, err := dsp.DesignLowpass(0.25, 63, dsp.Hamming)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ff := dsp.NewFIRFFTTaps(taps)
+	ws := dsp.NewWorkspace()
+	buf := make([]complex128, 4096)
+	for i := range buf {
+		buf[i] = complex(float64(i%9)-4, 0)
+	}
+	ff.ProcessWS(ws, buf) // warm plans and pools
+	b.SetBytes(int64(len(buf) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		ff.ProcessWS(ws, buf)
+	}
+}
+
+// benchXCorrInputs builds the preamble-search-shaped correlation
+// workload: a 4096-sample capture scanned by a dense 256-sample
+// reference (dense enough that the cost model picks the FFT path).
+func benchXCorrInputs() (x, y []complex128) {
+	x = make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%11)-5, float64(i%3)-1)
+	}
+	y = make([]complex128, 256)
+	for i := range y {
+		y[i] = complex(float64(i%5)-2, float64(i%7)-3)
+	}
+	return x, y
+}
+
+// BenchmarkXCorrDirect measures the O(lags·len(y)) reference sliding
+// correlation on the dense 4096×256 workload.
+func BenchmarkXCorrDirect(b *testing.B) {
+	x, y := benchXCorrInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(dsp.XCorr(x, y)) == 0 {
+			b.Fatal("empty correlation")
+		}
+	}
+}
+
+// BenchmarkXCorrFFTWS measures the same correlation through XCorrWS,
+// whose cost model sends this dense workload down the circular-FFT path.
+func BenchmarkXCorrFFTWS(b *testing.B) {
+	x, y := benchXCorrInputs()
+	ws := dsp.NewWorkspace()
+	dsp.XCorrWS(ws, x, y) // warm the plan cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		if len(dsp.XCorrWS(ws, x, y)) == 0 {
+			b.Fatal("empty correlation")
+		}
+	}
+}
+
+// BenchmarkDecodeBurstBatch measures batched demodulation: eight
+// captured bursts decoded back to back through one reader pipeline
+// (one workspace reset per burst, buffers shared across the batch).
+// ns/op is per batch of eight.
+func BenchmarkDecodeBurstBatch(b *testing.B) {
+	w, err := phy.NewRectWaveform(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nBursts = 8
+	var bursts [][]complex128
+	for t := 0; t < nBursts; t++ {
+		payload := rng.New(uint64(t + 1)).Bytes(make([]byte, 32))
+		raw, err := frame.Encode(uint16(t), frame.MCSOOK, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syms := phy.PreambleSymbols(0.05)
+		bits := frame.BitsFromBytes(nil, raw)
+		syms, err = (phy.OOK{Leakage: 0.05}).Modulate(syms, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples := w.Synthesize(syms)
+		rx := make([]complex128, 100+len(samples)+60)
+		copy(rx[100:], samples)
+		bursts = append(bursts, rx)
+	}
+	p := reader.NewPipeline()
+	decode := func() {
+		p.DecodeBurstBatch(bursts, w, func(i int, f *frame.Decoded, _ reader.RxStats, err error) {
+			if err != nil || !f.Trailer.OK {
+				b.Fatalf("burst %d failed: %v", i, err)
+			}
+		})
+	}
+	decode() // warm the pipeline workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decode()
+	}
+}
+
+// bench6Record is one row of BENCH_6.json.
+type bench6Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON6 emits BENCH_6.json: the frequency-domain fast-path
+// profile the CI bench-gate6 job holds with tools/benchgate, including
+// the -ratio gates that pin the FFT-convolution and radix-4 speedups.
+// It only runs when MMTAG_BENCH6_JSON names the output path (the
+// Makefile's bench-json6 target); plain `go test` skips it.
+func TestWriteBenchJSON6(t *testing.T) {
+	path := os.Getenv("MMTAG_BENCH6_JSON")
+	if path == "" {
+		t.Skip("set MMTAG_BENCH6_JSON=<path> to emit the benchmark JSON")
+	}
+	obs.Disable()
+	event.Disable()
+	signal.Disable()
+	run := func(name string, fn func(b *testing.B)) bench6Record {
+		best := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		t.Logf("%s: %d ns/op, %d allocs/op, %d B/op",
+			name, best.NsPerOp(), best.AllocsPerOp(), best.AllocedBytesPerOp())
+		return bench6Record{
+			Name:        name,
+			NsPerOp:     float64(best.NsPerOp()),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+	}
+	records := []bench6Record{
+		// Machine-speed calibration first, as in BENCH_2 through BENCH_5.
+		run("calibration_ook_modem", BenchmarkOOKModem),
+		run("fft_radix2_1024", BenchmarkFFTRadix2Kernel),
+		run("fft_radix4_1024_ws", BenchmarkFFTRadix4WS),
+		run("rfft_4096_ws", BenchmarkRFFTWS),
+		run("fir_block_inplace", BenchmarkFIRBlockInPlace),
+		run("fir_fft_block_ws", BenchmarkFIRFFTBlockWS),
+		run("xcorr_direct_4096x256", BenchmarkXCorrDirect),
+		run("xcorr_fft_4096x256_ws", BenchmarkXCorrFFTWS),
+		run("decode_burst_batch8_ws", BenchmarkDecodeBurstBatch),
+	}
+	byName := func(name string) bench6Record {
+		for _, r := range records {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing record %s", name)
+		return bench6Record{}
+	}
+	ratio := func(num, den bench6Record) float64 {
+		if den.NsPerOp <= 0 {
+			return 0
+		}
+		return num.NsPerOp / den.NsPerOp
+	}
+	out := struct {
+		Schema     string         `json:"schema"`
+		Note       string         `json:"note"`
+		NumCPU     int            `json:"num_cpu"`
+		GoVersion  string         `json:"go_version"`
+		Benchmarks []bench6Record `json:"benchmarks"`
+		// The three headline speedups of the frequency-domain fast path.
+		// FFTConvSpeedup and Radix4Speedup are re-derived and gated from
+		// the raw records by benchgate -ratio; they are recorded here so
+		// the committed file tells the story on its own.
+		FFTConvSpeedup float64 `json:"fft_conv_speedup_vs_direct_fir"`
+		Radix4Speedup  float64 `json:"radix4_speedup_vs_radix2"`
+		XCorrSpeedup   float64 `json:"xcorr_fft_speedup_vs_direct"`
+	}{
+		Schema:         "mmtag-bench/6",
+		Note:           "regenerate with `make bench-json6`; ns/op is machine-dependent, allocs/op is not",
+		NumCPU:         runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
+		Benchmarks:     records,
+		FFTConvSpeedup: ratio(byName("fir_block_inplace"), byName("fir_fft_block_ws")),
+		Radix4Speedup:  ratio(byName("fft_radix2_1024"), byName("fft_radix4_1024_ws")),
+		XCorrSpeedup:   ratio(byName("xcorr_direct_4096x256"), byName("xcorr_fft_4096x256_ws")),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,0 +1,225 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// convDirect is the O(n·m) reference convolution.
+func convDirect(x, h []complex128) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// TestConvOSMatchesDirect pins overlap-save convolution against the
+// direct loop across kernel/signal length combinations spanning single-
+// block and many-block regimes.
+func TestConvOSMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWorkspace()
+	cases := []struct{ lx, lh int }{
+		{1, 1}, {5, 3}, {17, 9}, {64, 64}, {100, 65},
+		{500, 63}, {4096, 63}, {4096, 129}, {1000, 333}, {257, 1024},
+	}
+	for _, c := range cases {
+		x := randComplex(rng, c.lx)
+		h := randComplex(rng, c.lh)
+		want := convDirect(x, h)
+		got := ConvOSWS(w, x, h)
+		if len(got) != len(want) {
+			t.Fatalf("conv %dx%d: length %d want %d", c.lx, c.lh, len(got), len(want))
+		}
+		scale := MaxAbs(want) + 1
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-10*scale*float64(c.lh) {
+				t.Fatalf("conv %dx%d sample %d: got %v want %v", c.lx, c.lh, i, got[i], want[i])
+			}
+		}
+		// ConvWS must agree too (it delegates here for long kernels).
+		got2 := ConvWS(w, x, h)
+		for i := range want {
+			if d := cmplx.Abs(got2[i] - want[i]); d > 1e-10*scale*float64(c.lh) {
+				t.Fatalf("ConvWS %dx%d sample %d: got %v want %v", c.lx, c.lh, i, got2[i], want[i])
+			}
+		}
+		w.Reset()
+	}
+}
+
+// TestFIRFFTMatchesFIRStreaming runs the same sample stream through the
+// time-domain FIR and the frequency-domain FIRFFT in mismatched block
+// sizes and requires matching output, exercising the history carry.
+func TestFIRFFTMatchesFIRStreaming(t *testing.T) {
+	taps, err := DesignLowpass(0.23, 63, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir := NewFIR(taps)
+	ff := NewFIRFFTTaps(taps)
+	w := NewWorkspace()
+	rng := rand.New(rand.NewSource(5))
+	stream := randComplex(rng, 3000)
+	var got, want []complex128
+	for _, blk := range []int{1, 7, 64, 500, 1000, 1428} {
+		if blk > len(stream) {
+			blk = len(stream)
+		}
+		x := stream[:blk]
+		stream = stream[blk:]
+		want = append(want, fir.Process(x)...)
+		got = append(got, append([]complex128(nil), ff.ProcessWS(w, x)...)...)
+		w.Reset()
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if d := cmplx.Abs(got[i] - want[i]); d > 1e-10 {
+			t.Fatalf("sample %d: fft-path %v, direct %v (diff %g)", i, got[i], want[i], d)
+		}
+	}
+}
+
+// TestFIRProcessWSBitIdentical: the linearized block path must reproduce
+// the per-sample ring path bit for bit, including streaming state across
+// odd block boundaries.
+func TestFIRProcessWSBitIdentical(t *testing.T) {
+	taps, err := DesignLowpass(0.3, 31, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewFIR(taps), NewFIR(taps)
+	w := NewWorkspace()
+	rng := rand.New(rand.NewSource(9))
+	for _, blk := range []int{13, 1, 40, 31, 7, 200} {
+		x := randComplex(rng, blk)
+		want := a.Process(x)
+		got := b.ProcessWS(w, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d sample %d: ProcessWS %v != Process %v", blk, i, got[i], want[i])
+			}
+		}
+		w.Reset()
+	}
+}
+
+// TestXCorrWSMatchesXCorr pins both XCorrWS paths (direct for sparse/
+// short, FFT for long dense) against the reference XCorr.
+func TestXCorrWSMatchesXCorr(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := NewWorkspace()
+	cases := []struct{ lx, ly int }{
+		{8, 3}, {100, 13}, {1000, 52}, {4096, 512}, {2500, 49}, {5000, 2000},
+	}
+	for _, c := range cases {
+		x := randComplex(rng, c.lx)
+		y := randComplex(rng, c.ly)
+		// Sparsify some references to exercise the zero-skip path.
+		if c.ly >= 49 {
+			for i := range y {
+				if i%4 != 0 {
+					y[i] = 0
+				}
+			}
+		}
+		want := XCorr(x, y)
+		got := XCorrWS(w, x, y)
+		if len(got) != len(want) {
+			t.Fatalf("xcorr %dx%d: %d lags want %d", c.lx, c.ly, len(got), len(want))
+		}
+		scale := MaxAbs(want) + 1
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-9*scale {
+				t.Fatalf("xcorr %dx%d lag %d: got %v want %v", c.lx, c.ly, i, got[i], want[i])
+			}
+		}
+		w.Reset()
+	}
+}
+
+// TestXCorrRealWSMatchesReference pins the real-input correlation (both
+// paths) against a direct float loop.
+func TestXCorrRealWSMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := NewWorkspace()
+	for _, c := range []struct{ lx, ly int }{{20, 5}, {300, 49}, {2500, 49}, {6000, 2048}} {
+		x := make([]float64, c.lx)
+		y := make([]float64, c.ly)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		if c.ly >= 2048 {
+			// force the FFT path by keeping the reference dense & long
+		}
+		lags := c.lx - c.ly + 1
+		want := make([]float64, lags)
+		for k := 0; k < lags; k++ {
+			var acc float64
+			for n := 0; n < c.ly; n++ {
+				acc += x[k+n] * y[n]
+			}
+			want[k] = acc
+		}
+		got := XCorrRealWS(w, x, y)
+		scale := 0.0
+		for _, v := range want {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*(scale+1) {
+				t.Fatalf("real xcorr %dx%d lag %d: got %g want %g", c.lx, c.ly, i, got[i], want[i])
+			}
+		}
+		w.Reset()
+	}
+}
+
+// TestConvXCorrZeroAlloc: the frequency-domain paths stay allocation-free
+// on a warm workspace.
+func TestConvXCorrZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := NewWorkspace()
+	x := randComplex(rng, 4096)
+	h := randComplex(rng, 129)
+	xr := make([]float64, 4096)
+	yr := make([]float64, 2048)
+	for i := range xr {
+		xr[i] = rng.NormFloat64()
+	}
+	for i := range yr {
+		yr[i] = rng.NormFloat64()
+	}
+	taps, _ := DesignLowpass(0.25, 63, Hamming)
+	fir := NewFIR(taps)
+	ff := NewFIRFFTTaps(taps)
+
+	warm := func() {
+		ConvOSWS(w, x, h)
+		XCorrWS(w, x, h)
+		XCorrRealWS(w, xr, yr)
+		fir.ProcessWS(w, x)
+		ff.ProcessWS(w, x)
+		w.Reset()
+	}
+	warm()
+	warm()
+	if n := testing.AllocsPerRun(50, warm); n != 0 {
+		t.Fatalf("frequency-domain paths allocate %v/op on warm workspace, want 0", n)
+	}
+}

@@ -147,6 +147,18 @@ func FFTShiftFloats(x []float64) []float64 {
 	return out
 }
 
+// FFTShiftFloatsInto is FFTShiftFloats writing into dst (len(dst) must
+// be ≥ len(x), dst must not alias x) and returning dst[:len(x)] — the
+// allocation-free form for callers with a reusable buffer.
+func FFTShiftFloatsInto(dst, x []float64) []float64 {
+	n := len(x)
+	dst = dst[:n]
+	half := (n + 1) / 2
+	copy(dst, x[half:])
+	copy(dst[n-half:], x[:half])
+	return dst
+}
+
 // FFTFreqs returns the frequency in Hz of each FFT bin for an N-point
 // transform at the given sample rate, in natural (unshifted) bin order.
 func FFTFreqs(n int, sampleRate float64) []float64 {

@@ -28,6 +28,11 @@ func (f *FIR) Taps() []float64 {
 	return out
 }
 
+// TapsView returns the filter's taps without copying. The slice is
+// read-only: mutating it corrupts the filter. Used by FIRFFT and the
+// alloc-free block paths where the Taps copy would dominate the cost.
+func (f *FIR) TapsView() []float64 { return f.taps }
+
 // Reset clears the filter's delay line.
 func (f *FIR) Reset() {
 	for i := range f.state {
@@ -79,6 +84,48 @@ func (f *FIR) ProcessInPlace(x []complex128) []complex128 {
 		x[i] = f.ProcessSample(v)
 	}
 	return x
+}
+
+// ProcessWS filters a whole block into a workspace buffer, bit-identical
+// to Process (same per-sample summation order) but without the
+// per-sample ring-buffer arithmetic or the output allocation: the delay
+// line is linearized once, the block is filtered with a flat inner loop,
+// and the ring state is written back at the end. The returned slice is
+// owned by ws and valid until the next ws.Reset. Zero allocations on a
+// warm workspace.
+func (f *FIR) ProcessWS(ws *Workspace, x []complex128) []complex128 {
+	nt := len(f.taps)
+	out := ws.Complex(len(x))
+	if nt == 0 {
+		copy(out, x)
+		return out
+	}
+	if len(x) == 0 {
+		return out
+	}
+	// ext = [nt−1 samples of history, oldest first][the new block], so
+	// y[t] = Σ_i taps[i]·ext[nt−1+t−i] with no index wrapping.
+	ext := ws.Complex(nt - 1 + len(x))
+	for i := 1; i < nt; i++ {
+		ext[nt-1-i] = f.state[((f.pos-i)%nt+nt)%nt]
+	}
+	copy(ext[nt-1:], x)
+	for t := range x {
+		var acc complex128
+		base := nt - 1 + t
+		for i := 0; i < nt; i++ {
+			acc += ext[base-i] * complex(f.taps[i], 0)
+		}
+		out[t] = acc
+	}
+	// Write the last nt samples back into the ring so streaming picks up
+	// exactly where ProcessSample would have left it.
+	newPos := (f.pos + len(x)) % nt
+	for i := 1; i <= nt && i <= len(ext); i++ {
+		f.state[((newPos-i)%nt+nt)%nt] = ext[len(ext)-i]
+	}
+	f.pos = newPos
+	return out
 }
 
 // GroupDelay returns the filter's nominal group delay in samples,

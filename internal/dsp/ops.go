@@ -77,8 +77,8 @@ func Delay(x []complex128, d int) []complex128 {
 }
 
 // Conv returns the full linear convolution of x and h
-// (length len(x)+len(h)−1). For large inputs it switches to FFT-based
-// (overlap-free, single big transform) convolution.
+// (length len(x)+len(h)−1). For large inputs it switches to overlap-save
+// FFT convolution (see ConvOSWS).
 func Conv(x, h []complex128) []complex128 { return ConvWS(nil, x, h) }
 
 // ConvWS is Conv with workspace-backed scratch and output: the returned
@@ -102,18 +102,7 @@ func ConvWS(ws *Workspace, x, h []complex128) []complex128 {
 		}
 		return out
 	}
-	m := NextPowerOfTwo(n)
-	a := ws.Complex(m)
-	b := ws.Complex(m)
-	copy(a, x)
-	copy(b, h)
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	return a[:n]
+	return ConvOSWS(ws, x, h)
 }
 
 // XCorr returns the cross-correlation r[k] = Σ_n x[n+k]·conj(y[n]) for

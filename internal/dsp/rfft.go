@@ -1,0 +1,108 @@
+package dsp
+
+import "math"
+
+// rfftPlan caches the untangling twiddles of the packed real-input FFT
+// for one even length n: tw[k] = exp(-2πik/n) for k = 0..n/2. Like the
+// other plans it is immutable and survives Workspace.Reset.
+type rfftPlan struct {
+	n  int
+	tw []complex128
+}
+
+func newRFFTPlan(n int) *rfftPlan {
+	m := n / 2
+	tw := make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		tw[k] = complex(c, s)
+	}
+	return &rfftPlan{n: n, tw: tw}
+}
+
+// rfftPlanFor returns the cached untangle plan for even length n.
+func (w *Workspace) rfftPlanFor(n int) *rfftPlan {
+	if w == nil {
+		return newRFFTPlan(n)
+	}
+	if p, ok := w.rffts[n]; ok {
+		return p
+	}
+	if w.rffts == nil {
+		w.rffts = make(map[int]*rfftPlan)
+	}
+	p := newRFFTPlan(n)
+	w.rffts[n] = p
+	return p
+}
+
+// RFFTWS computes the DFT of a real signal of even length n using one
+// complex FFT of length n/2: consecutive sample pairs are packed into
+// real/imaginary parts and the spectrum untangled afterwards, roughly
+// halving the work of the complex transform. It returns the
+// non-redundant half spectrum X[0..n/2] (n/2+1 bins, DC through Nyquist)
+// in a workspace buffer valid until the next Reset; the remaining bins
+// follow from conjugate symmetry X[n-k] = conj(X[k]).
+//
+// len(x) must be even and ≥ 2. Zero allocations once the plans for n/2
+// exist. A nil workspace allocates.
+func RFFTWS(w *Workspace, x []float64) []complex128 {
+	n := len(x)
+	if n < 2 || n%2 != 0 {
+		panic("dsp: RFFTWS requires even input length >= 2")
+	}
+	m := n / 2
+	z := w.Complex(m)
+	for j := 0; j < m; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	w.fft(z, false)
+	out := w.Complex(m + 1)
+	p := w.rfftPlanFor(n)
+	// Untangle: with Z the transform of the packed sequence, the even-
+	// and odd-sample sub-spectra are E(k) = (Z(k)+conj(Z(m-k)))/2 and
+	// O(k) = -i(Z(k)-conj(Z(m-k)))/2, and X(k) = E(k) + tw[k]·O(k).
+	for k := 0; k <= m; k++ {
+		zk := z[k%m] // Z(m) wraps to Z(0)
+		zc := z[(m-k)%m]
+		zc = complex(real(zc), -imag(zc))
+		e := (zk + zc) * 0.5
+		d := (zk - zc) * 0.5
+		o := complex(imag(d), -real(d)) // -i·(zk-zc)/2
+		out[k] = e + p.tw[k]*o
+	}
+	return out
+}
+
+// IRFFTWS inverts RFFTWS: given the half spectrum spec (n/2+1 bins of a
+// conjugate-symmetric DFT), it returns the length-n real signal in a
+// workspace buffer valid until the next Reset. n must be even and
+// len(spec) == n/2+1. Zero allocations once the plans exist.
+func IRFFTWS(w *Workspace, spec []complex128, n int) []float64 {
+	if n < 2 || n%2 != 0 || len(spec) != n/2+1 {
+		panic("dsp: IRFFTWS requires even n with len(spec) == n/2+1")
+	}
+	m := n / 2
+	z := w.Complex(m)
+	p := w.rfftPlanFor(n)
+	// Re-tangle: E(k) = (X(k)+conj(X(m-k)))/2, O(k) = conj(tw[k])·
+	// (X(k)-conj(X(m-k)))/2, and the packed spectrum is Z(k) = E(k)+i·O(k).
+	for k := 0; k < m; k++ {
+		xk := spec[k]
+		xc := spec[m-k]
+		xc = complex(real(xc), -imag(xc))
+		e := (xk + xc) * 0.5
+		d := (xk - xc) * 0.5
+		twc := p.tw[k]
+		twc = complex(real(twc), -imag(twc))
+		o := twc * d
+		z[k] = e + complex(-imag(o), real(o)) // E + i·O
+	}
+	w.fft(z, true)
+	out := w.Float(n)
+	for j := 0; j < m; j++ {
+		out[2*j] = real(z[j])
+		out[2*j+1] = imag(z[j])
+	}
+	return out
+}

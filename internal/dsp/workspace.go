@@ -36,6 +36,8 @@ type Workspace struct {
 	fbufs bufPool[float64]
 	bbufs bufPool[byte]
 	plans map[int]*fftPlan
+	pow2s map[int]*pow2Plan
+	rffts map[int]*rfftPlan
 }
 
 // NewWorkspace returns an empty workspace.
@@ -133,10 +135,37 @@ func (w *Workspace) fft(x []complex128, inverse bool) {
 		return
 	}
 	if IsPowerOfTwo(n) {
+		if w != nil && n >= pow2PlanMin {
+			p := w.pow2Plan(n)
+			if inverse {
+				p.inverse(x)
+			} else {
+				p.forward(x)
+			}
+			return
+		}
 		radix2(x, inverse)
 		return
 	}
 	w.plan(n, inverse).transform(x, inverse)
+}
+
+// pow2Plan returns the cached radix-4 plan for power-of-two length n,
+// building it on first use. Plans survive Reset (immutable except for
+// their private scratch buffer).
+func (w *Workspace) pow2Plan(n int) *pow2Plan {
+	if w == nil {
+		return newPow2Plan(n)
+	}
+	if p, ok := w.pow2s[n]; ok {
+		return p
+	}
+	if w.pow2s == nil {
+		w.pow2s = make(map[int]*pow2Plan)
+	}
+	p := newPow2Plan(n)
+	w.pow2s[n] = p
+	return p
 }
 
 // plan returns the cached Bluestein plan for (n, inverse), building it on
@@ -170,6 +199,7 @@ type fftPlan struct {
 	chirp   []complex128 // n chirp factors
 	bfft    []complex128 // m-point FFT of the conjugate-chirp kernel
 	scratch []complex128 // m-point work buffer reused per transform
+	mp      *pow2Plan    // radix-4 plan for the three m-point transforms
 }
 
 func newFFTPlan(n int, inverse bool) *fftPlan {
@@ -192,8 +222,9 @@ func newFFTPlan(n int, inverse bool) *fftPlan {
 	for k := 1; k < n; k++ {
 		b[m-k] = cmplx.Conj(chirp[k])
 	}
-	radix2(b, false)
-	return &fftPlan{n: n, m: m, chirp: chirp, bfft: b, scratch: make([]complex128, m)}
+	mp := newPow2Plan(m)
+	mp.forward(b)
+	return &fftPlan{n: n, m: m, chirp: chirp, bfft: b, scratch: make([]complex128, m), mp: mp}
 }
 
 // transform runs the chirp-z convolution on x (length p.n) in place.
@@ -203,11 +234,11 @@ func (p *fftPlan) transform(x []complex128, inverse bool) {
 	for k := 0; k < p.n; k++ {
 		a[k] = x[k] * p.chirp[k]
 	}
-	radix2(a, false)
+	p.mp.forward(a)
 	for i := range a {
 		a[i] *= p.bfft[i]
 	}
-	radix2(a, true)
+	p.mp.inverse(a)
 	for k := 0; k < p.n; k++ {
 		x[k] = a[k] * p.chirp[k]
 	}

@@ -191,6 +191,13 @@ func (s *Server) writeLastBurst(b *strings.Builder) {
 	if !ok {
 		return
 	}
+	// All the DSP and plot-series scratch below comes out of the shared
+	// render workspace: sizes stabilize after the first render, so
+	// repeated scrapes stop allocating.
+	s.dashMu.Lock()
+	defer s.dashMu.Unlock()
+	ws := s.dashWS
+	ws.Reset()
 	status := "decoded"
 	if !last.Decoded {
 		status = "CRC failed"
@@ -202,8 +209,8 @@ func (s *Server) writeLastBurst(b *strings.Builder) {
 		last.SyncOffset, last.SyncMetric, num(last.SNRdB, !math.IsNaN(last.SNRdB), "%.1f"), last.Threshold)
 
 	if len(last.Decisions) > 0 {
-		re := make([]float64, len(last.Decisions))
-		im := make([]float64, len(last.Decisions))
+		re := ws.Float(len(last.Decisions))
+		im := ws.Float(len(last.Decisions))
 		for i, c := range last.Decisions {
 			re[i] = real(c)
 			im[i] = imag(c)
@@ -219,10 +226,11 @@ func (s *Server) writeLastBurst(b *strings.Builder) {
 		}
 	}
 	if len(last.IQ) >= 8 && last.SampleRateHz > 0 {
-		psd := dsp.FFTShiftFloats(dsp.Periodogram(last.IQ, dsp.Hann))
+		raw := dsp.PeriodogramWS(ws, last.IQ, dsp.Hann)
+		psd := dsp.FFTShiftFloatsInto(ws.Float(len(raw)), raw)
 		n := len(psd)
-		freqs := make([]float64, n)
-		db := make([]float64, n)
+		freqs := ws.Float(n)
+		db := ws.Float(n)
 		for i := range psd {
 			freqs[i] = (float64(i) - float64(n-(n+1)/2)) * last.SampleRateHz / float64(n) / 1e6
 			db[i] = 10 * math.Log10(psd[i]+1e-30)

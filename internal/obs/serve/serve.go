@@ -29,9 +29,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/signal"
@@ -50,11 +52,18 @@ type Server struct {
 	sig   *signal.Tap
 	start time.Time
 	phase atomic.Value // string: what the process is currently doing
+
+	// dashMu serializes dashboard renders so they can share dashWS, the
+	// workspace backing the spectrum/constellation DSP — repeated scrapes
+	// reuse the same periodogram and plot buffers instead of allocating
+	// per render.
+	dashMu sync.Mutex
+	dashWS *dsp.Workspace
 }
 
 // New returns a Server over the given stores (either may be nil).
 func New(reg *obs.Registry, log *event.Log) *Server {
-	s := &Server{reg: reg, log: log, start: time.Now()}
+	s := &Server{reg: reg, log: log, start: time.Now(), dashWS: dsp.NewWorkspace()}
 	s.phase.Store("idle")
 	return s
 }

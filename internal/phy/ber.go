@@ -119,6 +119,14 @@ func BERASK(m int, snr float64) (float64, error) {
 // identical no matter how many workers execute them.
 const mcChunkBits = 1 << 13
 
+// mcBatchChunks is how many chunks one par work item processes back to
+// back. Batching amortizes the pool's per-item scheduling and the
+// workspace warm-up over several chunks without touching the chunk
+// boundaries themselves: each chunk still draws from the sub-stream
+// keyed by its own global index, so results stay byte-identical to the
+// unbatched (and any-worker-count) execution.
+const mcBatchChunks = 8
+
 // MonteCarloBER measures the bit-error rate of a modulation over an AWGN
 // channel at the given average SNR (dB) by direct simulation of nBits
 // bits, using symbol-level transmission (matched filter output domain).
@@ -160,22 +168,36 @@ func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (f
 		errs  int
 	}
 	stats := make([]shardStat, nChunks)
+	nBatches := (nChunks + mcBatchChunks - 1) / mcBatchChunks
+	batchSpan := func(b int) (lo, hi int) {
+		lo = b * mcBatchChunks
+		hi = lo + mcBatchChunks
+		if hi > nChunks {
+			hi = nChunks
+		}
+		return lo, hi
+	}
 	// Pass 1: per shard, draw bits and modulate; accumulate constellation
 	// power locally so the global average can be formed exactly as the
-	// sequential code did (sum over all symbols / count).
-	err := par.ForEachErrWith(nChunks, dsp.NewWorkspace, func(ws *dsp.Workspace, i int) error {
-		ws.Reset()
-		lo, hi := span(i)
-		s := seq.At(uint64(i))
-		bits := s.Bits(ws.Bytes(hi - lo))
-		syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
-		if err != nil {
-			return err
-		}
-		st := &stats[i]
-		st.syms = len(syms)
-		for _, v := range syms {
-			st.power += real(v)*real(v) + imag(v)*imag(v)
+	// sequential code did (sum over all symbols / count). Chunks run in
+	// batches per work item (mcBatchChunks) to amortize pool scheduling;
+	// each chunk's draws stay keyed by its own global index.
+	err := par.ForEachErrWith(nBatches, dsp.NewWorkspace, func(ws *dsp.Workspace, b int) error {
+		clo, chi := batchSpan(b)
+		for i := clo; i < chi; i++ {
+			ws.Reset()
+			lo, hi := span(i)
+			s := seq.At(uint64(i))
+			bits := s.Bits(ws.Bytes(hi - lo))
+			syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
+			if err != nil {
+				return err
+			}
+			st := &stats[i]
+			st.syms = len(syms)
+			for _, v := range syms {
+				st.power += real(v)*real(v) + imag(v)*imag(v)
+			}
 		}
 		return nil
 	})
@@ -197,24 +219,27 @@ func MonteCarloBER(mod Modulation, snrDB float64, nBits int, src *rng.Source) (f
 	// position the old retained-buffer code had after pass 1), then add
 	// AWGN, demodulate and count errors. Redrawing trades a little compute
 	// for not retaining nChunks bit/symbol buffers across the barrier.
-	err = par.ForEachErrWith(nChunks, dsp.NewWorkspace, func(ws *dsp.Workspace, i int) error {
-		ws.Reset()
-		lo, hi := span(i)
-		s := seq.At(uint64(i))
-		bits := s.Bits(ws.Bytes(hi - lo))
-		syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
-		if err != nil {
-			return err
-		}
-		s.AWGN(syms, noisePower)
-		got := mod.Demodulate(ws.Bytes(len(bits))[:0], syms)
-		errs := 0
-		for j := range bits {
-			if got[j] != bits[j] {
-				errs++
+	err = par.ForEachErrWith(nBatches, dsp.NewWorkspace, func(ws *dsp.Workspace, b int) error {
+		clo, chi := batchSpan(b)
+		for i := clo; i < chi; i++ {
+			ws.Reset()
+			lo, hi := span(i)
+			s := seq.At(uint64(i))
+			bits := s.Bits(ws.Bytes(hi - lo))
+			syms, err := mod.Modulate(ws.Complex((hi - lo) / k)[:0], bits)
+			if err != nil {
+				return err
 			}
+			s.AWGN(syms, noisePower)
+			got := mod.Demodulate(ws.Bytes(len(bits))[:0], syms)
+			errs := 0
+			for j := range bits {
+				if got[j] != bits[j] {
+					errs++
+				}
+			}
+			stats[i].errs = errs
 		}
-		stats[i].errs = errs
 		return nil
 	})
 	if err != nil {

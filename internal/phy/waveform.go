@@ -70,8 +70,17 @@ func (w Waveform) MatchedFilter(samples []complex128, startSample, nSymbols int)
 	return w.MatchedFilterWS(nil, samples, startSample, nSymbols)
 }
 
+// matchedFilterDirectMax is the longest pulse still correlated by the
+// direct per-symbol loop; beyond it MatchedFilterWS runs one overlap-save
+// FFT correlation over the whole burst and samples the decision points
+// from it. The default rect pulse (len = SPS) stays direct, keeping the
+// burst hot path's numerics bit-identical.
+const matchedFilterDirectMax = 32
+
 // MatchedFilterWS is MatchedFilter with the decision buffer checked out
-// of ws (valid until the next ws.Reset; nil ws allocates).
+// of ws (valid until the next ws.Reset; nil ws allocates). Long shaping
+// pulses (raised-cosine with many samples per symbol) take the
+// frequency-domain path.
 func (w Waveform) MatchedFilterWS(ws *dsp.Workspace, samples []complex128, startSample, nSymbols int) ([]complex128, error) {
 	if startSample < 0 {
 		return nil, fmt.Errorf("phy: negative start sample %d", startSample)
@@ -82,6 +91,26 @@ func (w Waveform) MatchedFilterWS(ws *dsp.Workspace, samples []complex128, start
 	}
 	if pe == 0 {
 		return nil, fmt.Errorf("phy: zero-energy pulse")
+	}
+	if l := len(w.Pulse); l > matchedFilterDirectMax && nSymbols > 0 {
+		// Correlation as convolution with the reversed pulse: full-conv
+		// position start + k·SPS + (l−1) − (l−1)/2 is symbol k's decision
+		// point, and the convolution's implicit zero padding reproduces
+		// the direct loop's skip of out-of-range taps.
+		h := ws.Complex(l)
+		for i, p := range w.Pulse {
+			h[l-1-i] = complex(p, 0)
+		}
+		full := dsp.ConvOSWS(ws, samples, h)
+		out := ws.Complex(nSymbols)
+		off := (l - 1) - (l-1)/2
+		ipe := complex(1/pe, 0)
+		for k := 0; k < nSymbols; k++ {
+			if u := startSample + k*w.SPS + off; u < len(full) {
+				out[k] = full[u] * ipe
+			}
+		}
+		return out, nil
 	}
 	out := ws.Complex(nSymbols)[:0]
 	for k := 0; k < nSymbols; k++ {
@@ -137,19 +166,21 @@ func (w Waveform) DetectBurstWS(ws *dsp.Workspace, samples []complex128, leakage
 		tmpl[i] -= mean
 	}
 	// The moving-average envelope peaks at the *end* of each symbol
-	// period; search all sample offsets.
+	// period; search all sample offsets by correlating the envelope with
+	// the template upsampled to sample rate (one nonzero chip every SPS).
+	// XCorrRealWS skips the exact-zero template taps on its direct path,
+	// so the sums match the old strided loop bit for bit; long/dense
+	// searches take its FFT path automatically.
 	maxOfs := len(samples) - n*w.SPS
-	corr := ws.Float(maxOfs + 1)
+	tdense := ws.Float((n-1)*w.SPS + 1)
+	for k := 0; k < n; k++ {
+		tdense[k*w.SPS] = tmpl[k]
+	}
+	corr := dsp.XCorrRealWS(ws, env, tdense)[:maxOfs+1]
 	bestV := math.Inf(-1)
-	for ofs := 0; ofs <= maxOfs; ofs++ {
-		var acc float64
-		for k := 0; k < n; k++ {
-			idx := ofs + k*w.SPS
-			acc += tmpl[k] * env[idx]
-		}
-		corr[ofs] = acc
-		if acc > bestV {
-			bestV = acc
+	for _, v := range corr {
+		if v > bestV {
+			bestV = v
 		}
 	}
 	// A random payload can contain a 13-symbol run that matches the

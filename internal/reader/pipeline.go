@@ -166,6 +166,22 @@ func (p *Pipeline) DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Dec
 	return DecodeBurstWS(p.ws, samples, w)
 }
 
+// DecodeBurstBatch decodes a batch of same-shaped bursts through this
+// pipeline's single workspace, invoking visit once per burst in order.
+// The workspace is Reset between bursts (recycling every scratch buffer)
+// while its cached FFT plans survive, so the whole batch shares one set
+// of twiddle tables and stabilized buffers — the per-burst decode is
+// allocation-free after the first burst. The decoded frame and stats
+// passed to visit reference workspace memory and are valid ONLY during
+// that visit call; copy out anything that must be kept.
+func (p *Pipeline) DecodeBurstBatch(bursts [][]complex128, w phy.Waveform, visit func(i int, f *frame.Decoded, stats RxStats, err error)) {
+	for i, samples := range bursts {
+		p.ws.Reset()
+		f, stats, err := DecodeBurstWS(p.ws, samples, w)
+		visit(i, f, stats, err)
+	}
+}
+
 // DecodeBurst runs the full receive pipeline on captured baseband
 // samples: Barker sync, matched filtering, adaptive decisions, and
 // layered frame decoding. The header (always OOK) is decoded first to

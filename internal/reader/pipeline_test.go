@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/mmtag/mmtag/internal/frame"
+	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/rng"
 )
@@ -128,6 +129,85 @@ func TestPipelineReuseMatchesOneShot(t *testing.T) {
 		// DeepEqual compares the slice contents along with the scalars.
 		if !reflect.DeepEqual(stats, wantStats) {
 			t.Fatalf("call %d: stats %+v, want %+v", i, stats, wantStats)
+		}
+	}
+}
+
+// TestDecodeBurstBatchMatchesOneShot: batch decoding through one
+// pipeline must yield the same frames as independent one-shot decodes,
+// and the per-burst visit must observe valid workspace-backed results.
+func TestDecodeBurstBatchMatchesOneShot(t *testing.T) {
+	w, _ := phy.NewRectWaveform(8)
+	payloads := [][]byte{
+		[]byte("first burst"),
+		[]byte("the second, rather longer, burst payload"),
+		[]byte("third"),
+		[]byte("and a fourth burst to round out the batch"),
+	}
+	var bursts [][]complex128
+	for i, p := range payloads {
+		samples := synthBurst(t, uint16(0x1000+i), p, 0.05, 8)
+		rx := make([]complex128, 120+len(samples)+60)
+		copy(rx[120:], samples)
+		bursts = append(bursts, rx)
+	}
+	visited := 0
+	p := NewPipeline()
+	p.DecodeBurstBatch(bursts, w, func(i int, f *frame.Decoded, stats RxStats, err error) {
+		if err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+		want, wantStats, err := DecodeBurst(bursts[i], w)
+		if err != nil {
+			t.Fatalf("one-shot %d: %v", i, err)
+		}
+		if f.Header.TagID != want.Header.TagID || !bytes.Equal(f.Payload.Data, want.Payload.Data) {
+			t.Fatalf("burst %d: batch decode diverged from one-shot", i)
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Fatalf("burst %d: stats %+v, want %+v", i, stats, wantStats)
+		}
+		visited++
+	})
+	if visited != len(bursts) {
+		t.Fatalf("visited %d bursts, want %d", visited, len(bursts))
+	}
+}
+
+// TestBatchDecodeWorkerInvariance: fanning a burst batch across per-worker
+// pipelines must produce byte-identical payloads for any worker count
+// (the demod path has no cross-burst state).
+func TestBatchDecodeWorkerInvariance(t *testing.T) {
+	w, _ := phy.NewRectWaveform(8)
+	const nBursts = 8
+	var bursts [][]complex128
+	for i := 0; i < nBursts; i++ {
+		payload := make([]byte, 16+i*7)
+		rng.New(uint64(i + 1)).Bits(payload)
+		samples := synthBurst(t, uint16(i), payload, 0.05, 8)
+		rx := make([]complex128, 90+len(samples)+50)
+		copy(rx[90:], samples)
+		bursts = append(bursts, rx)
+	}
+	run := func(workers int) [][]byte {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		out := make([][]byte, nBursts)
+		par.ForEachWith(nBursts, NewPipeline, func(p *Pipeline, i int) {
+			f, _, err := p.DecodeBurst(bursts[i], w)
+			if err != nil {
+				t.Errorf("burst %d: %v", i, err)
+				return
+			}
+			out[i] = append([]byte(nil), f.Payload.Data...)
+		})
+		return out
+	}
+	one := run(1)
+	four := run(4)
+	for i := range one {
+		if !bytes.Equal(one[i], four[i]) {
+			t.Fatalf("burst %d: payload differs between 1 and 4 workers", i)
 		}
 	}
 }
