@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-trend vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-trend bench-history grid-smoke vet fmt experiments figures clean
 
 all: build test
 
@@ -100,6 +100,29 @@ bench-gate6:
 # Markdown trend table across the whole BENCH_N.json history.
 bench-trend:
 	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
+
+# Cross-PR history report + regression gate: regenerate the current
+# fast-path figures, render the per-metric trend over BENCH_1…6 plus the
+# fresh run (ns/op scaled through the calibration benchmark), and fail
+# when any allocation-tracked benchmark regresses past the best count
+# ever recorded for it.
+bench-history:
+	$(MAKE) bench-json6 BENCH6_OUT=/tmp/mmtag_bench6_fresh.json
+	$(GO) run ./tools/benchgate -history \
+		BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json \
+		/tmp/mmtag_bench6_fresh.json
+
+# Grid smoke: run the committed smoke grid at two worker counts, verify
+# every cell manifest, and assert the deterministic artifacts are
+# byte-identical (manifest.json quarantines the wall-clock fields).
+grid-smoke:
+	rm -rf /tmp/mmtag_grid_w1 /tmp/mmtag_grid_w8 /tmp/mmtag_grid_report
+	$(GO) run ./cmd/mmtag grid -f experiments/smoke.json -workers 1 -out /tmp/mmtag_grid_w1
+	$(GO) run ./cmd/mmtag grid -f experiments/smoke.json -workers 8 -out /tmp/mmtag_grid_w8
+	$(GO) run ./cmd/mmtag verify -rundir /tmp/mmtag_grid_w1
+	$(GO) run ./cmd/mmtag verify -rundir /tmp/mmtag_grid_w8
+	diff -r -x manifest.json /tmp/mmtag_grid_w1 /tmp/mmtag_grid_w8
+	$(GO) run ./cmd/mmtag grid-report -rundir /tmp/mmtag_grid_w1 -out /tmp/mmtag_grid_report
 
 vet:
 	$(GO) vet ./...

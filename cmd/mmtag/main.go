@@ -28,7 +28,14 @@
 //	planar     E17: 2-D (planar) Van Atta vs fixed panel
 //	impair     A2: line phase-error ablation
 //	all        run every experiment in order
-//	verify     re-hash a -rundir manifest and fail on any digest mismatch
+//	verify     re-hash a -rundir manifest (single run or grid) and fail
+//	           on any digest mismatch
+//	grid       run a declared experiment grid: -f experiments.json
+//	           -out DIR [-workers N]; every cell is archived as a
+//	           manifest-verified run directory and the deterministic
+//	           artifacts are byte-identical for any worker count
+//	grid-report reduce an archived grid (-rundir DIR) to grouped CSVs,
+//	           markdown/LaTeX tables and SVG plots under -out DIR
 //
 // Flags:
 //
@@ -61,6 +68,8 @@
 //	               endpoints can be scraped mid-run
 //	-workers N     parallel workers for the sweep fan-outs (default
 //	               NumCPU); results are byte-identical for any N
+//	-f PATH        grid spec file for the grid subcommand
+//	-out DIR       output directory for grid / grid-report
 package main
 
 import (
@@ -75,6 +84,7 @@ import (
 	"time"
 
 	"github.com/mmtag/mmtag/internal/experiments"
+	"github.com/mmtag/mmtag/internal/grid"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
@@ -109,6 +119,8 @@ type options struct {
 	workers   int
 	taps      bool
 	flightrec int
+	specFile  string
+	outDir    string
 }
 
 // allExperiments is the "all" subcommand's order.
@@ -133,8 +145,10 @@ func run(args []string) error {
 	fs.IntVar(&opt.workers, "workers", runtime.NumCPU(), "parallel workers for sweep fan-outs (results are identical for any count)")
 	fs.BoolVar(&opt.taps, "taps", false, "enable signal-level observability taps (SNR/EVM/margin histograms + dashboard burst snapshot)")
 	fs.IntVar(&opt.flightrec, "flightrec", 0, "keep the K most recent failing bursts as IQ captures in -rundir (implies -taps)")
+	fs.StringVar(&opt.specFile, "f", "", "grid spec file (grid subcommand)")
+	fs.StringVar(&opt.outDir, "out", "", "output directory (grid, grid-report subcommands)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify|grid|grid-report> [flags]")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -145,16 +159,52 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	if name == "verify" {
-		// Not an experiment: re-hash an archived run directory (including
-		// any flight_*.iq captures) against its manifest digests.
+	// The archival subcommands run before the observability setup below:
+	// verify touches no simulation code, and the grid runner must keep
+	// the global obs/event/signal stores disabled so concurrent cells
+	// cannot interleave into them (worker invariance of the archives).
+	switch name {
+	case "verify":
+		// Re-hash an archived run directory (including any flight_*.iq
+		// captures) against its manifest digests. Grid directories are
+		// verified cell by cell.
 		if opt.rundir == "" {
 			return fmt.Errorf("verify: -rundir is required")
+		}
+		if grid.IsGridDir(opt.rundir) {
+			if err := grid.VerifyDir(opt.rundir); err != nil {
+				return err
+			}
+			fmt.Printf("verify: grid %s ok\n", opt.rundir)
+			return nil
 		}
 		if err := manifest.Verify(opt.rundir); err != nil {
 			return err
 		}
 		fmt.Printf("verify: %s ok\n", opt.rundir)
+		return nil
+	case "grid":
+		if opt.specFile == "" || opt.outDir == "" {
+			return fmt.Errorf("grid: -f SPEC and -out DIR are required")
+		}
+		spec, err := grid.Load(opt.specFile)
+		if err != nil {
+			return err
+		}
+		idx, err := grid.Run(spec, opt.outDir, opt.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("grid: %s: %d cells -> %s\n", spec.Name, len(idx.Cells), opt.outDir)
+		return nil
+	case "grid-report":
+		if opt.rundir == "" || opt.outDir == "" {
+			return fmt.Errorf("grid-report: -rundir DIR and -out DIR are required")
+		}
+		if err := grid.Report(opt.rundir, opt.outDir); err != nil {
+			return err
+		}
+		fmt.Printf("grid-report: %s -> %s\n", opt.rundir, opt.outDir)
 		return nil
 	}
 	par.SetWorkers(opt.workers)

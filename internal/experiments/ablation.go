@@ -7,6 +7,7 @@ import (
 	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/geom"
 	"github.com/mmtag/mmtag/internal/par"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -100,21 +101,18 @@ func ArraySizeAblation(counts []int) (ArraySizeResult, error) {
 
 // Table renders the ablation.
 func (r ArraySizeResult) Table() Table {
-	t := Table{
-		Title:   "A1 / §8 — array-size ablation: more elements, more range",
-		Columns: []string{"elements", "retro gain (dBi)", "Pr @4ft (dBm)", "1 Gb/s range (ft)", "rate @10ft"},
-		Notes: []string{
-			"each doubling of N adds ≈6 dB two-way (3 dB aperture × 2 passes) ⇒ ≈1.41× more 1 Gb/s range",
-		},
+	t := newTable("A1 / §8 — array-size ablation: more elements, more range",
+		render.Column{Header: "elements", Format: render.Int()},
+		render.Column{Header: "retro gain (dBi)", Format: render.Float(1)},
+		render.Column{Header: "Pr @4ft (dBm)", Format: render.Float(1)},
+		render.Column{Header: "1 Gb/s range (ft)", Format: render.Float(1)},
+		rateColumn("rate @10ft"),
+	)
+	t.Notes = []string{
+		"each doubling of N adds ≈6 dB two-way (3 dB aperture × 2 passes) ⇒ ≈1.41× more 1 Gb/s range",
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", p.Elements),
-			fmt.Sprintf("%.1f", p.RetroGainDBi),
-			fmt.Sprintf("%.1f", p.ReceivedDBmAt4ft),
-			fmt.Sprintf("%.1f", p.GbpsRangeFt),
-			units.FormatRate(p.RateAt10ft),
-		})
+		t.add(p.Elements, p.RetroGainDBi, p.ReceivedDBmAt4ft, p.GbpsRangeFt, p.RateAt10ft)
 	}
 	return t
 }
@@ -194,19 +192,16 @@ func ImpairmentAblation(sigmasDeg []float64, trials int, seed uint64) (Impairmen
 
 // Table renders the ablation.
 func (r ImpairmentResult) Table() Table {
-	t := Table{
-		Title:   "A2 — impairment ablation: retro-gain loss vs transmission-line phase error (30° incidence)",
-		Columns: []string{"phase error σ (deg)", "mean retro-gain loss (dB)"},
-		Notes: []string{
-			fmt.Sprintf("clean-array OOK modulation depth: %.1f dB", r.DepthCleanDB),
-			"equal line phases are the load-bearing assumption of paper Eq. 4",
-		},
+	t := newTable("A2 — impairment ablation: retro-gain loss vs transmission-line phase error (30° incidence)",
+		render.Column{Header: "phase error σ (deg)", Format: render.Float(0)},
+		render.Column{Header: "mean retro-gain loss (dB)", Format: render.Float(2)},
+	)
+	t.Notes = []string{
+		fmt.Sprintf("clean-array OOK modulation depth: %.1f dB", r.DepthCleanDB),
+		"equal line phases are the load-bearing assumption of paper Eq. 4",
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f", p.PhaseErrSigmaDeg),
-			fmt.Sprintf("%.2f", p.RetroLossDB),
-		})
+		t.add(p.PhaseErrSigmaDeg, p.RetroLossDB)
 	}
 	return t
 }

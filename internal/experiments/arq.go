@@ -7,6 +7,7 @@ import (
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/par"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -93,14 +94,17 @@ func ARQGoodput(nFrames int, seed uint64) (ARQResult, error) {
 
 // Table renders the sweep.
 func (r ARQResult) Table() Table {
-	t := Table{
-		Title: "E16 (extension) — link-layer goodput with stop-and-wait ARQ (2 GHz band, waveform-level)",
-		Columns: []string{"range (ft)", "SNR (dB)", "first-try FER", "retx",
-			"residual", "goodput"},
-		Notes: []string{
-			fmt.Sprintf("%d × 64-byte frames per point, ≤3 retries; goodput = delivered payload / total airtime", r.Frames),
-			"the PHY's 1 Gb/s becomes ≈0.87 Gb/s of goodput inside the cliff (framing overhead), collapsing across it",
-		},
+	t := newTable("E16 (extension) — link-layer goodput with stop-and-wait ARQ (2 GHz band, waveform-level)",
+		render.Column{Header: "range (ft)", Format: render.Float(1)},
+		render.Column{Header: "SNR (dB)", Format: render.Float(1)},
+		render.Column{Header: "first-try FER", Format: render.Float(2)},
+		render.Column{Header: "retx", Format: render.Int()},
+		render.Column{Header: "residual", Format: render.Int()},
+		rateColumn("goodput"),
+	)
+	t.Notes = []string{
+		fmt.Sprintf("%d × 64-byte frames per point, ≤3 retries; goodput = delivered payload / total airtime", r.Frames),
+		"the PHY's 1 Gb/s becomes ≈0.87 Gb/s of goodput inside the cliff (framing overhead), collapsing across it",
 	}
 	if r.LatencyP99S > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
@@ -108,14 +112,7 @@ func (r ARQResult) Table() Table {
 			r.LatencyP50S*1e6, r.LatencyP99S*1e6))
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1f", p.RangeFt),
-			fmt.Sprintf("%.1f", p.BudgetSNRdB),
-			fmt.Sprintf("%.2f", p.FirstTryFER),
-			fmt.Sprintf("%d", p.Retransmissions),
-			fmt.Sprintf("%d", p.Residual),
-			units.FormatRate(p.GoodputBps),
-		})
+		t.add(p.RangeFt, p.BudgetSNRdB, p.FirstTryFER, p.Retransmissions, p.Residual, p.GoodputBps)
 	}
 	return t
 }

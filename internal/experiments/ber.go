@@ -6,6 +6,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/units"
 )
@@ -78,21 +79,18 @@ func BERValidation(nBits int, seed uint64) (BERResult, error) {
 
 // Table renders the waterfall.
 func (r BERResult) Table() Table {
-	t := Table{
-		Title:   "E6 / §8 method — OOK BER: Monte-Carlo receiver vs analytic curves",
-		Columns: []string{"SNR (dB)", "Monte-Carlo", "analytic (envelope)", "analytic (coherent)"},
-		Notes: []string{
-			fmt.Sprintf("envelope receiver reaches BER 10⁻³ at %.1f dB; the paper's table constant is %.0f dB "+
-				"(a different SNR normalization — see EXPERIMENTS.md)", r.SNRForTarget, r.PaperThresholdDB),
-		},
+	t := newTable("E6 / §8 method — OOK BER: Monte-Carlo receiver vs analytic curves",
+		render.Column{Header: "SNR (dB)", Format: render.Float(0)},
+		render.Column{Header: "Monte-Carlo", Format: render.Sci(2)},
+		render.Column{Header: "analytic (envelope)", Format: render.Sci(2)},
+		render.Column{Header: "analytic (coherent)", Format: render.Sci(2)},
+	)
+	t.Notes = []string{
+		fmt.Sprintf("envelope receiver reaches BER 10⁻³ at %.1f dB; the paper's table constant is %.0f dB "+
+			"(a different SNR normalization — see EXPERIMENTS.md)", r.SNRForTarget, r.PaperThresholdDB),
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f", p.SNRdB),
-			fmt.Sprintf("%.2e", p.MonteCarlo),
-			fmt.Sprintf("%.2e", p.Analytic),
-			fmt.Sprintf("%.2e", p.AnalyticCoh),
-		})
+		t.add(p.SNRdB, p.MonteCarlo, p.Analytic, p.AnalyticCoh)
 	}
 	return t
 }

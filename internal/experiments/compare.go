@@ -5,6 +5,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/baselines"
 	"github.com/mmtag/mmtag/internal/core"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/units"
 )
 
@@ -78,23 +79,20 @@ func Comparison() (CompareResult, error) {
 
 // Table renders the comparison.
 func (r CompareResult) Table() Table {
-	t := Table{
-		Title:   "E5 / §1,§3 — backscatter systems compared (paper-quoted baselines, simulated mmTag)",
-		Columns: []string{"system", "band", "channel", "throughput", "at range", "source"},
-		Notes: []string{
-			fmt.Sprintf("mmTag: %s at 4 ft and %s at 10 ft — orders of magnitude above every baseline",
-				units.FormatRate(r.MmTagAt4ft), units.FormatRate(r.MmTagAt10ft)),
-		},
+	t := newTable("E5 / §1,§3 — backscatter systems compared (paper-quoted baselines, simulated mmTag)",
+		render.Column{Header: "system"},
+		render.Column{Header: "band", Format: render.Printf("%.1f GHz")},
+		render.Column{Header: "channel", Format: render.FloatFunc(fmtHz)},
+		rateColumn("throughput"),
+		render.Column{Header: "at range", Format: render.Printf("%.0f ft")},
+		render.Column{Header: "source"},
+	)
+	t.Notes = []string{
+		fmt.Sprintf("mmTag: %s at 4 ft and %s at 10 ft — orders of magnitude above every baseline",
+			units.FormatRate(r.MmTagAt4ft), units.FormatRate(r.MmTagAt10ft)),
 	}
 	for _, row := range r.Rows {
-		t.Rows = append(t.Rows, []string{
-			row.Name,
-			fmt.Sprintf("%.1f GHz", row.CarrierHz/1e9),
-			fmtHz(row.ChannelHz),
-			units.FormatRate(row.RateBps),
-			fmt.Sprintf("%.0f ft", row.AtRangeFt),
-			row.Citation,
-		})
+		t.add(row.Name, row.CarrierHz/1e9, row.ChannelHz, row.RateBps, row.AtRangeFt, row.Citation)
 	}
 	return t
 }

@@ -19,11 +19,16 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"github.com/mmtag/mmtag/internal/render"
+	"github.com/mmtag/mmtag/internal/units"
 )
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. Drivers either populate the
+// exported fields directly (pre-formatted cells, the historical idiom)
+// or build it through newTable + add, which routes raw values through
+// internal/render column formatters. Every backend — the aligned text
+// table, CSV, markdown and LaTeX — is rendered by internal/render
+// either way.
 type Table struct {
 	// Title names the experiment ("E2 / Fig 7 — …").
 	Title string
@@ -33,75 +38,54 @@ type Table struct {
 	Rows [][]string
 	// Notes carries calibration or interpretation remarks.
 	Notes []string
+
+	// cols carries the typed column declarations when the table was
+	// built through newTable; nil for struct-literal tables, which
+	// render with default (left-aligned, pre-formatted) columns.
+	cols []render.Column
+}
+
+// newTable starts a Table from typed render columns: the header labels
+// are mirrored into Columns so the CLI and tests see the same shape as
+// a struct-literal table.
+func newTable(title string, cols ...render.Column) Table {
+	t := Table{Title: title, cols: cols}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.Header)
+	}
+	return t
+}
+
+// add appends one row of raw values through the column formatters.
+func (t *Table) add(vals ...any) {
+	t.Rows = append(t.Rows, render.FormatRow(t.cols, vals))
+}
+
+// rateColumn is a column rendered through units.FormatRate (NaN-safe).
+func rateColumn(header string) render.Column {
+	return render.Column{Header: header, Format: render.FloatFunc(units.FormatRate)}
+}
+
+// asRender adapts the table to the shared renderer.
+func (t Table) asRender() *render.Table {
+	cols := t.cols
+	if len(cols) == 0 {
+		cols = make([]render.Column, len(t.Columns))
+		for i, h := range t.Columns {
+			cols[i] = render.Column{Header: h}
+		}
+	}
+	return &render.Table{Title: t.Title, Columns: cols, Rows: t.Rows, Notes: t.Notes}
 }
 
 // Render formats the table with aligned columns.
-func (t Table) Render() string {
-	var b strings.Builder
-	b.WriteString(t.Title)
-	b.WriteString("\n")
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(c)
-			if w := widths[i] - len(c); w > 0 {
-				b.WriteString(strings.Repeat(" ", w))
-			}
-		}
-		b.WriteString("\n")
-	}
-	line(t.Columns)
-	total := 0
-	for _, w := range widths {
-		total += w + 2
-	}
-	b.WriteString(strings.Repeat("-", total))
-	b.WriteString("\n")
-	for _, r := range t.Rows {
-		line(r)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
+func (t Table) Render() string { return t.asRender().Plain() }
 
-// CSV renders the table as comma-separated values (quoting-free cells are
-// assumed; cells containing commas are wrapped in quotes).
-func (t Table) CSV() string {
-	var b strings.Builder
-	esc := func(c string) string {
-		if strings.ContainsAny(c, ",\"") {
-			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
-		}
-		return c
-	}
-	cells := make([]string, len(t.Columns))
-	for i, c := range t.Columns {
-		cells[i] = esc(c)
-	}
-	b.WriteString(strings.Join(cells, ","))
-	b.WriteString("\n")
-	for _, r := range t.Rows {
-		cells = cells[:0]
-		for _, c := range r {
-			cells = append(cells, esc(c))
-		}
-		b.WriteString(strings.Join(cells, ","))
-		b.WriteString("\n")
-	}
-	return b.String()
-}
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string { return t.asRender().CSV() }
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t Table) Markdown() string { return t.asRender().Markdown() }
+
+// LaTeX renders the table as a booktabs tabular.
+func (t Table) LaTeX() string { return t.asRender().LaTeX() }

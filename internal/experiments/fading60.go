@@ -36,10 +36,19 @@ type FadingResult struct {
 
 // FadingMargin sweeps Rician K factors.
 func FadingMargin(seed uint64) (FadingResult, error) {
+	// One workspace reused by every fading-check burst across the sweep.
+	return FadingMarginWS(dsp.NewWorkspace(), seed)
+}
+
+// FadingMarginWS is FadingMargin on a caller-owned workspace — the grid
+// runner hands each worker's workspace down here so cells reuse scratch
+// across the cells one worker executes.
+func FadingMarginWS(ws *dsp.Workspace, seed uint64) (FadingResult, error) {
 	var res FadingResult
 	payload := make([]byte, 24)
-	// One workspace reused by every fading-check burst across the sweep.
-	ws := dsp.NewWorkspace()
+	if ws == nil {
+		ws = dsp.NewWorkspace()
+	}
 	for _, k := range []float64{20, 12, 6, 0} {
 		src := rng.New(seed)
 		f := channel.Fading{KdB: k, DopplerHz: 200}

@@ -10,6 +10,7 @@ import (
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/par"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -114,14 +115,18 @@ func MultiTag(populations []int, seed uint64) (MultiTagResult, error) {
 
 // Table renders the sweep.
 func (r MultiTagResult) Table() Table {
-	t := Table{
-		Title: "E7 / §9 extension — multi-tag network: SDM scan + framed Aloha",
-		Columns: []string{"tags", "detected", "aggregate", "per-tag mean", "fairness",
-			"cycle (ms)", "aggregate 4-beam"},
-		Notes: []string{
-			"tags uniform over ±60° at 3–10 ft; reader = default horn, 8-beam codebook, 1 ms dwell",
-			"4-beam column = the §9 MIMO multi-beam extension",
-		},
+	t := newTable("E7 / §9 extension — multi-tag network: SDM scan + framed Aloha",
+		render.Column{Header: "tags", Format: render.Int()},
+		render.Column{Header: "detected", Format: render.Int()},
+		rateColumn("aggregate"),
+		rateColumn("per-tag mean"),
+		render.Column{Header: "fairness", Format: render.Float(2)},
+		render.Column{Header: "cycle (ms)", Format: render.Float(2)},
+		rateColumn("aggregate 4-beam"),
+	)
+	t.Notes = []string{
+		"tags uniform over ±60° at 3–10 ft; reader = default horn, 8-beam codebook, 1 ms dwell",
+		"4-beam column = the §9 MIMO multi-beam extension",
 	}
 	if r.CycleP99S > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
@@ -129,15 +134,7 @@ func (r MultiTagResult) Table() Table {
 			r.CycleP50S*1e3, r.CycleP99S*1e3))
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", p.Tags),
-			fmt.Sprintf("%d", p.Detected),
-			units.FormatRate(p.AggregateBps),
-			units.FormatRate(p.PerTagMeanBps),
-			fmt.Sprintf("%.2f", p.Fairness),
-			fmt.Sprintf("%.2f", p.CycleMs),
-			units.FormatRate(p.Aggregate4Beam),
-		})
+		t.add(p.Tags, p.Detected, p.AggregateBps, p.PerTagMeanBps, p.Fairness, p.CycleMs, p.Aggregate4Beam)
 	}
 	return t
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/mmtag/mmtag/internal/obs/signal"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
+	"github.com/mmtag/mmtag/internal/render"
 	"github.com/mmtag/mmtag/internal/units"
 )
 
@@ -144,23 +145,20 @@ func RateAdaptation(n int) (RateAdaptResult, error) {
 
 // Table renders the sweep.
 func (r RateAdaptResult) Table() Table {
-	t := Table{
-		Title:   "E12 (extension) — modulation adaptation: OOK vs 4-ASK across range",
-		Columns: []string{"range (ft)", "Pr (dBm)", "OOK rate (paper)", "adapted rate", "scheme", "bandwidth"},
-		Notes: []string{
-			fmt.Sprintf("4-ASK needs %.1f dB more SNR than binary ASK at BER 10⁻³ (analytic)", r.ASK4ExtraSNRdB),
-			fmt.Sprintf("peak adapted rate %s; 4-ASK stops paying at ≈%.1f ft", units.FormatRate(r.PeakRateBps), r.CrossoverFt),
-		},
+	t := newTable("E12 (extension) — modulation adaptation: OOK vs 4-ASK across range",
+		render.Column{Header: "range (ft)", Format: render.Float(1)},
+		render.Column{Header: "Pr (dBm)", Format: render.Float(1)},
+		rateColumn("OOK rate (paper)"),
+		rateColumn("adapted rate"),
+		render.Column{Header: "scheme"},
+		render.Column{Header: "bandwidth"},
+	)
+	t.Notes = []string{
+		fmt.Sprintf("4-ASK needs %.1f dB more SNR than binary ASK at BER 10⁻³ (analytic)", r.ASK4ExtraSNRdB),
+		fmt.Sprintf("peak adapted rate %s; 4-ASK stops paying at ≈%.1f ft", units.FormatRate(r.PeakRateBps), r.CrossoverFt),
 	}
 	for _, p := range r.Points {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1f", p.RangeFt),
-			fmt.Sprintf("%.1f", p.ReceivedDBm),
-			units.FormatRate(p.OOKRateBps),
-			units.FormatRate(p.AdaptedRateBps),
-			p.Scheme,
-			p.Bandwidth,
-		})
+		t.add(p.RangeFt, p.ReceivedDBm, p.OOKRateBps, p.AdaptedRateBps, p.Scheme, p.Bandwidth)
 	}
 	return t
 }

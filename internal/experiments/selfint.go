@@ -35,12 +35,21 @@ type SelfIntResult struct {
 
 // SelfInterference sweeps reader isolation at the 4 ft geometry.
 func SelfInterference(seed uint64) (SelfIntResult, error) {
+	// One workspace for the whole sweep: every burst recycles the previous
+	// isolation point's sample buffers.
+	return SelfInterferenceWS(dsp.NewWorkspace(), seed)
+}
+
+// SelfInterferenceWS is SelfInterference on a caller-owned workspace —
+// the grid runner hands each worker's workspace down here so cells
+// reuse scratch across the cells one worker executes.
+func SelfInterferenceWS(ws *dsp.Workspace, seed uint64) (SelfIntResult, error) {
 	var res SelfIntResult
 	payload := bytes.Repeat([]byte{0xA7}, 32)
 	res.MinWorkingIsolationDB = -1
-	// One workspace for the whole sweep: every burst recycles the previous
-	// isolation point's sample buffers.
-	ws := dsp.NewWorkspace()
+	if ws == nil {
+		ws = dsp.NewWorkspace()
+	}
 	for _, iso := range []float64{80, 70, 60, 50, 40, 30, 20} {
 		l, err := core.NewDefaultLink(units.FeetToMeters(4))
 		if err != nil {

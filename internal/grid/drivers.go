@@ -1,0 +1,265 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/experiments"
+)
+
+// Params are the knobs a grid cell hands its driver. Zero values mean
+// "driver default", matching the cmd/mmtag flag semantics.
+type Params struct {
+	// Points is the sweep resolution (fig6/fig7/retro/...), the frame
+	// count (arq) or unused, driver depending.
+	Points int
+	// Bits is the Monte-Carlo size (ber, coded).
+	Bits int
+	// Seed is the cell's derived seed.
+	Seed uint64
+}
+
+// runFunc executes one experiment and reduces it to a rendered table
+// plus named summary metrics (the values grid-report aggregates over
+// repeats). ws is the executing worker's reusable DSP workspace; drivers
+// without a waveform stage ignore it.
+type runFunc func(p Params, ws *dsp.Workspace) (experiments.Table, map[string]float64, error)
+
+// drivers is the registry: every cmd/mmtag experiment that makes sense
+// as a grid cell. The summary metrics are the result structs' headline
+// scalars — the quantities the paper's claims hang on.
+var drivers = map[string]runFunc{
+	"fig6": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.Figure6(p.Points)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"carrier_off_db": r.CarrierOffDB,
+			"carrier_on_db":  r.CarrierOnDB,
+		}, nil
+	},
+	"fig7": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.Figure7(p.Points)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"rate_at_4ft_bps":  r.RateAt4ft,
+			"rate_at_10ft_bps": r.RateAt10ft,
+		}, nil
+	},
+	"retro": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.Retrodirectivity(p.Points)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"worst_error_deg":    r.WorstErrorDeg,
+			"fixed_collapse_deg": r.FixedBeamCollapseDeg,
+		}, nil
+	},
+	"beamwidth": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		n := p.Points
+		if n == 0 {
+			n = 6
+		}
+		r, err := experiments.Beamwidth(n)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{"hpbw_deg": r.HPBWDeg}, nil
+	},
+	"compare": func(_ Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.Comparison()
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"mmtag_rate_4ft_bps":  r.MmTagAt4ft,
+			"mmtag_rate_10ft_bps": r.MmTagAt10ft,
+		}, nil
+	},
+	"ber": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.BERValidation(p.Bits, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{"snr_for_target_db": r.SNRForTarget}
+		// The Monte-Carlo sample at 8 dB is the seed-dependent scalar —
+		// the one whose grouped std over repeats is meaningful.
+		for _, pt := range r.Points {
+			if pt.SNRdB == 8 {
+				m["mc_ber_8db"] = pt.MonteCarlo
+			}
+		}
+		return r.Table(), m, nil
+	},
+	"mac": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.MultiTag(nil, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		if n := len(r.Points); n > 0 {
+			last := r.Points[n-1]
+			m["aggregate_bps"] = last.AggregateBps
+			m["fairness"] = last.Fairness
+		}
+		return r.Table(), m, nil
+	},
+	"selfint": func(p Params, ws *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.SelfInterferenceWS(ws, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"min_working_isolation_db": r.MinWorkingIsolationDB,
+		}, nil
+	},
+	"energy": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.EnergyFeasibility(p.Points)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{"batteryless_range_ft": r.BatterylessRangeFt}, nil
+	},
+	"anticol": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.AntiCollision(nil, p.Points, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		if n := len(r.Points); n > 0 {
+			last := r.Points[n-1]
+			m["aloha_eff"] = last.AlohaEff
+			m["tree_eff"] = last.TreeEff
+		}
+		return r.Table(), m, nil
+	},
+	"blockage": func(_ Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.Blockage()
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{"los_rate_bps": r.LOSRateBps}
+		for i, pt := range r.Points {
+			if i == 0 || pt.RateBps < m["nlos_rate_min_bps"] {
+				m["nlos_rate_min_bps"] = pt.RateBps
+			}
+		}
+		return r.Table(), m, nil
+	},
+	"rateadapt": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.RateAdaptation(p.Points)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"peak_rate_bps": r.PeakRateBps,
+			"crossover_ft":  r.CrossoverFt,
+		}, nil
+	},
+	"fading": func(p Params, ws *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.FadingMarginWS(ws, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		for i, pt := range r.Points {
+			if i == 0 || pt.GbpsRangeFt < m["gbps_range_min_ft"] {
+				m["gbps_range_min_ft"] = pt.GbpsRangeFt
+			}
+		}
+		return r.Table(), m, nil
+	},
+	"bands": func(_ Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.BandScaling()
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		if len(r.Points) > 0 {
+			m["gbps_range_24ghz_ft"] = r.Points[0].GbpsRangeFt
+			m["gbps_range_hiband_ft"] = r.Points[len(r.Points)-1].GbpsRangeFt
+		}
+		return r.Table(), m, nil
+	},
+	"coded": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.CodedBER(p.Bits, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{"coding_gain_db": r.CodingGainDB}, nil
+	},
+	"arq": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.ARQGoodput(p.Points, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		for i, pt := range r.Points {
+			if i == 0 || pt.GoodputBps > m["goodput_peak_bps"] {
+				m["goodput_peak_bps"] = pt.GoodputBps
+			}
+			m["residual_total"] += float64(pt.Residual)
+		}
+		return r.Table(), m, nil
+	},
+	"planar": func(_ Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.PlanarTag()
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"linear_gain_dbi": r.LinearGainDBi,
+			"planar_gain_dbi": r.PlanarGainDBi,
+		}, nil
+	},
+	"arraysize": func(_ Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.ArraySizeAblation(nil)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{}
+		if n := len(r.Points); n > 0 {
+			m["gbps_range_max_ft"] = r.Points[n-1].GbpsRangeFt
+		}
+		return r.Table(), m, nil
+	},
+	"impair": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.ImpairmentAblation(nil, p.Points, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		m := map[string]float64{"depth_clean_db": r.DepthCleanDB}
+		if n := len(r.Points); n > 0 {
+			m["retro_loss_max_db"] = r.Points[n-1].RetroLossDB
+		}
+		return r.Table(), m, nil
+	},
+}
+
+// Drivers lists the registered driver names, sorted.
+func Drivers() []string {
+	names := make([]string, 0, len(drivers))
+	for name := range drivers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// runCell executes one cell on the given workspace.
+func runCell(c Cell, ws *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+	fn, ok := drivers[c.Driver]
+	if !ok {
+		return experiments.Table{}, nil, fmt.Errorf("grid: unknown driver %q", c.Driver)
+	}
+	tab, metrics, err := fn(Params{Points: c.Points, Bits: c.Bits, Seed: c.Seed}, ws)
+	if err != nil {
+		return experiments.Table{}, nil, fmt.Errorf("grid: cell %s: %w", c.ID, err)
+	}
+	return tab, metrics, nil
+}

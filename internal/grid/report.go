@@ -1,0 +1,280 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mmtag/mmtag/internal/plot"
+	"github.com/mmtag/mmtag/internal/render"
+)
+
+// fmtG is the report's number formatter: shortest round-trip decimal,
+// so the CSVs are deterministic and lossless.
+func fmtG(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// group is one (driver, points, bits, metric) aggregate over repeats.
+type group struct {
+	Driver string
+	Points int
+	Bits   int
+	Metric string
+	N      int
+	Mean   float64
+	Std    float64
+}
+
+// groupKey orders groups deterministically.
+func (g group) key() string {
+	return fmt.Sprintf("%s|%09d|%09d|%s", g.Driver, g.Points, g.Bits, g.Metric)
+}
+
+// Report reduces an archived grid run (outDir of Run) into analysis
+// artifacts under reportDir:
+//
+//	summary_cells.csv    every (cell, metric, value) in long form
+//	summary_grouped.csv  mean/std per (driver, points, bits, metric)
+//	tables.md            the grouped stats as markdown, one table/driver
+//	tables.tex           the same tables as booktabs LaTeX
+//	plots/<d>_<m>.svg    mean vs the varying sweep axis, where one varies
+//
+// Every artifact is deterministic: cells and groups are sorted, numbers
+// use shortest round-trip formatting, and nothing carries a timestamp.
+func Report(runDir, reportDir string) error {
+	idx, err := ReadIndex(runDir)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(reportDir, 0o755); err != nil {
+		return fmt.Errorf("grid: %w", err)
+	}
+	cells := append([]CellResult(nil), idx.Cells...)
+	sort.Slice(cells, func(i, j int) bool { return cells[i].ID < cells[j].ID })
+
+	// summary_cells.csv: the raw long-form record.
+	cellTab := render.New("",
+		render.Col("cell"), render.Col("driver"),
+		render.Column{Header: "points", Align: render.Right, Format: render.Int()},
+		render.Column{Header: "bits", Align: render.Right, Format: render.Int()},
+		render.Column{Header: "repeat", Align: render.Right, Format: render.Int()},
+		render.Col("seed"),
+		render.Col("metric"),
+		render.Column{Header: "value", Align: render.Right, Format: render.FloatFunc(fmtG)},
+	)
+	for _, c := range cells {
+		for _, m := range sortedKeys(c.Metrics) {
+			cellTab.Add(c.ID, c.Driver, c.Points, c.Bits, c.Repeat,
+				strconv.FormatUint(c.Seed, 10), m, c.Metrics[m])
+		}
+	}
+	if err := writeFile(reportDir, "summary_cells.csv", cellTab.CSV()); err != nil {
+		return err
+	}
+
+	// Aggregate over repeats.
+	acc := map[string][]float64{}
+	meta := map[string]group{}
+	for _, c := range cells {
+		for _, m := range sortedKeys(c.Metrics) {
+			g := group{Driver: c.Driver, Points: c.Points, Bits: c.Bits, Metric: m}
+			acc[g.key()] = append(acc[g.key()], c.Metrics[m])
+			meta[g.key()] = g
+		}
+	}
+	groups := make([]group, 0, len(acc))
+	for _, k := range sortedKeys(acc) {
+		g := meta[k]
+		g.N = len(acc[k])
+		g.Mean, g.Std = meanStd(acc[k])
+		groups = append(groups, g)
+	}
+
+	groupTab := render.New("",
+		render.Col("driver"),
+		render.Column{Header: "points", Align: render.Right, Format: render.Int()},
+		render.Column{Header: "bits", Align: render.Right, Format: render.Int()},
+		render.Col("metric"),
+		render.Column{Header: "n", Align: render.Right, Format: render.Int()},
+		render.Column{Header: "mean", Align: render.Right, Format: render.FloatFunc(fmtG)},
+		render.Column{Header: "std", Align: render.Right, Format: render.FloatFunc(fmtG)},
+	)
+	for _, g := range groups {
+		groupTab.Add(g.Driver, g.Points, g.Bits, g.Metric, g.N, g.Mean, g.Std)
+	}
+	if err := writeFile(reportDir, "summary_grouped.csv", groupTab.CSV()); err != nil {
+		return err
+	}
+
+	// Per-driver tables, markdown and LaTeX.
+	var md, tex strings.Builder
+	fmt.Fprintf(&md, "# Grid report: %s\n\n", idx.Name)
+	fmt.Fprintf(&tex, "%% Grid report: %s\n", idx.Name)
+	for _, d := range driverOrder(groups) {
+		t := render.New(fmt.Sprintf("%s — grouped over repeats", d),
+			render.Column{Header: "points", Align: render.Right, Format: render.Int()},
+			render.Column{Header: "bits", Align: render.Right, Format: render.Int()},
+			render.Col("metric"),
+			render.Column{Header: "n", Align: render.Right, Format: render.Int()},
+			render.Column{Header: "mean", Align: render.Right, Format: render.FloatFunc(fmtG)},
+			render.Column{Header: "std", Align: render.Right, Format: render.FloatFunc(fmtG)},
+		)
+		for _, g := range groups {
+			if g.Driver == d {
+				t.Add(g.Points, g.Bits, g.Metric, g.N, g.Mean, g.Std)
+			}
+		}
+		md.WriteString(t.Markdown())
+		md.WriteString("\n")
+		tex.WriteString(t.LaTeX())
+		tex.WriteString("\n")
+	}
+	if err := writeFile(reportDir, "tables.md", md.String()); err != nil {
+		return err
+	}
+	if err := writeFile(reportDir, "tables.tex", tex.String()); err != nil {
+		return err
+	}
+
+	// Plots: one SVG per (driver, metric) whose points or bits axis
+	// varies across groups.
+	plotsDir := filepath.Join(reportDir, "plots")
+	for _, dm := range driverMetricOrder(groups) {
+		var sub []group
+		for _, g := range groups {
+			if g.Driver == dm.driver && g.Metric == dm.metric {
+				sub = append(sub, g)
+			}
+		}
+		axis, label := plotAxis(sub)
+		if axis == nil {
+			continue
+		}
+		if err := os.MkdirAll(plotsDir, 0o755); err != nil {
+			return fmt.Errorf("grid: %w", err)
+		}
+		ys := make([]float64, len(sub))
+		for i, g := range sub {
+			ys[i] = g.Mean
+		}
+		c := plot.Chart{
+			Title:  fmt.Sprintf("%s: %s", dm.driver, dm.metric),
+			XLabel: label,
+			YLabel: dm.metric,
+			Series: []plot.Series{{Name: "mean", X: axis, Y: ys}},
+		}
+		svg, err := c.SVG()
+		if err != nil {
+			return fmt.Errorf("grid: plot %s/%s: %w", dm.driver, dm.metric, err)
+		}
+		name := fmt.Sprintf("%s_%s.svg", dm.driver, dm.metric)
+		if err := os.WriteFile(filepath.Join(plotsDir, name), []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("grid: %w", err)
+		}
+	}
+	return nil
+}
+
+// plotAxis picks the sweep axis for a (driver, metric) group set: the
+// points or bits coordinate, whichever varies (points wins when both
+// do). Nil means nothing varies — no plot.
+func plotAxis(sub []group) ([]float64, string) {
+	if len(sub) < 2 {
+		return nil, ""
+	}
+	varies := func(get func(group) int) bool {
+		for _, g := range sub[1:] {
+			if get(g) != get(sub[0]) {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case varies(func(g group) int { return g.Points }):
+		xs := make([]float64, len(sub))
+		for i, g := range sub {
+			xs[i] = float64(g.Points)
+		}
+		return xs, "points"
+	case varies(func(g group) int { return g.Bits }):
+		xs := make([]float64, len(sub))
+		for i, g := range sub {
+			xs[i] = float64(g.Bits)
+		}
+		return xs, "bits"
+	}
+	return nil, ""
+}
+
+// writeFile writes one report artifact.
+func writeFile(dir, name, content string) error {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		return fmt.Errorf("grid: %w", err)
+	}
+	return nil
+}
+
+type driverMetric struct{ driver, metric string }
+
+// driverOrder lists the distinct drivers in group order.
+func driverOrder(groups []group) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if !seen[g.Driver] {
+			seen[g.Driver] = true
+			out = append(out, g.Driver)
+		}
+	}
+	return out
+}
+
+// driverMetricOrder lists the distinct (driver, metric) pairs in group
+// order.
+func driverMetricOrder(groups []group) []driverMetric {
+	var out []driverMetric
+	seen := map[driverMetric]bool{}
+	for _, g := range groups {
+		dm := driverMetric{g.Driver, g.Metric}
+		if !seen[dm] {
+			seen[dm] = true
+			out = append(out, dm)
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// meanStd returns the mean and sample standard deviation (0 for n < 2).
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}

@@ -1,0 +1,164 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/obs/manifest"
+	"github.com/mmtag/mmtag/internal/par"
+)
+
+// IndexSchema identifies the grid run-index format (grid.json).
+const IndexSchema = "mmtag-grid-run/1"
+
+// indexName / cellsDir name the run-directory layout.
+const (
+	indexName = "grid.json"
+	cellsDir  = "cells"
+)
+
+// CellResult is one executed cell as recorded in the run index.
+type CellResult struct {
+	Cell
+	// Dir is the cell's run directory, relative to the grid root.
+	Dir string `json:"dir"`
+	// Metrics are the driver's summary scalars.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Index is the grid.json body: the deterministic record of a grid run.
+// It carries no wall-clock fields — those live in the per-cell
+// manifest.json — so two runs of the same spec are byte-identical here.
+type Index struct {
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	Seed   uint64 `json:"seed"`
+	// Cells are sorted by ID.
+	Cells []CellResult `json:"cells"`
+}
+
+// Run expands the spec and executes every cell across the worker pool,
+// one reusable dsp.Workspace per worker. Each cell is archived under
+// outDir/cells/<id>/ as a manifest run directory holding table.txt,
+// table.csv and cell.json (all digest-verified); outDir/grid.json is the
+// deterministic index the analyzer reads.
+//
+// Determinism: the caller must not have global observability (obs,
+// event, signal) enabled — concurrent cells would interleave into the
+// shared stores and drivers that read obs.Active() would emit
+// worker-count-dependent notes. The cmd/mmtag grid subcommand runs
+// before its observability setup for exactly this reason.
+func Run(spec *Spec, outDir string, workers int) (*Index, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(outDir, cellsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	started := time.Now()
+	results := make([]CellResult, len(cells))
+	err = par.DoErrWith(workers, len(cells),
+		dsp.NewWorkspace,
+		func(ws *dsp.Workspace, i int) error {
+			c := cells[i]
+			tab, metrics, err := runCell(c, ws)
+			if err != nil {
+				return err
+			}
+			if metrics == nil {
+				metrics = map[string]float64{}
+			}
+			rel := filepath.Join(cellsDir, c.ID)
+			cellJSON, err := json.MarshalIndent(CellResult{Cell: c, Dir: rel, Metrics: metrics}, "", "  ")
+			if err != nil {
+				return fmt.Errorf("grid: cell %s: %w", c.ID, err)
+			}
+			info := manifest.RunInfo{
+				Experiment: c.Driver,
+				Seed:       c.Seed,
+				Workers:    workers,
+				Started:    started,
+				Extra: map[string]string{
+					"grid":   spec.Name,
+					"cell":   c.ID,
+					"points": fmt.Sprintf("%d", c.Points),
+					"bits":   fmt.Sprintf("%d", c.Bits),
+					"repeat": fmt.Sprintf("%d", c.Repeat),
+				},
+			}
+			// nil registry / event log: the cell archive holds only the
+			// deterministic artifacts plus manifest.json (the one file
+			// allowed to differ between runs).
+			_, err = manifest.Write(filepath.Join(outDir, rel), info, nil, nil,
+				manifest.ExtraFile{Name: "table.txt", Data: []byte(tab.Render())},
+				manifest.ExtraFile{Name: "table.csv", Data: []byte(tab.CSV())},
+				manifest.ExtraFile{Name: "cell.json", Data: append(cellJSON, '\n')},
+			)
+			if err != nil {
+				return err
+			}
+			results[i] = CellResult{Cell: c, Dir: rel, Metrics: metrics}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Schema: IndexSchema, Name: spec.Name, Seed: spec.Seed, Cells: results}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, indexName), append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	return idx, nil
+}
+
+// ReadIndex loads a grid run directory's index.
+func ReadIndex(dir string) (*Index, error) {
+	data, err := os.ReadFile(filepath.Join(dir, indexName))
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	var idx Index
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("grid: %s: %w", dir, err)
+	}
+	if idx.Schema != IndexSchema {
+		return nil, fmt.Errorf("grid: %s: schema %q, want %q", dir, idx.Schema, IndexSchema)
+	}
+	return &idx, nil
+}
+
+// IsGridDir reports whether dir looks like a grid run directory (has a
+// grid.json index). cmd/mmtag verify uses it to route between the
+// single-run and grid verifiers.
+func IsGridDir(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, indexName))
+	return err == nil
+}
+
+// VerifyDir checks a grid run directory end to end: the index parses,
+// every indexed cell directory exists, and every cell manifest's digests
+// match the archived bytes. Cells are checked in sorted order so the
+// first error is deterministic.
+func VerifyDir(dir string) error {
+	idx, err := ReadIndex(dir)
+	if err != nil {
+		return err
+	}
+	cells := append([]CellResult(nil), idx.Cells...)
+	sort.Slice(cells, func(i, j int) bool { return cells[i].ID < cells[j].ID })
+	for _, c := range cells {
+		if err := manifest.Verify(filepath.Join(dir, c.Dir)); err != nil {
+			return fmt.Errorf("grid: cell %s: %w", c.ID, err)
+		}
+	}
+	return nil
+}

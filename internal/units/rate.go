@@ -82,6 +82,10 @@ func ContinuousAchievableRate(prDBm, tempK, nfDB float64) float64 {
 // FormatRate renders a bit rate with engineering units ("1.00 Gb/s").
 func FormatRate(bps float64) string {
 	switch {
+	case math.IsNaN(bps):
+		// A NaN rate is a driver bug upstream; render a placeholder
+		// instead of the "NaN b/s" the default branch used to emit.
+		return "n/a"
 	case bps <= 0:
 		return "no link"
 	case bps >= 1e9:

@@ -70,6 +70,9 @@ func TestFormatRate(t *testing.T) {
 		{1e7, "10.00 Mb/s"},
 		{2500, "2.50 kb/s"},
 		{300, "300 b/s"},
+		// A NaN rate (a driver bug upstream) must render as a
+		// placeholder, never leak "NaN b/s" into a table cell.
+		{math.NaN(), "n/a"},
 	}
 	for _, c := range cases {
 		if got := FormatRate(c.bps); got != c.want {

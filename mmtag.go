@@ -28,6 +28,7 @@ import (
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/geom"
+	"github.com/mmtag/mmtag/internal/grid"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
@@ -235,6 +236,38 @@ func WriteRunDir(dir string, info RunInfo) (RunManifest, error) {
 // VerifyRunDir re-hashes every artifact a run directory's manifest lists
 // and reports the first digest mismatch.
 func VerifyRunDir(dir string) error { return manifest.Verify(dir) }
+
+// GridSpec declares an experiment grid: drivers crossed with repeats and
+// sweep sizes, every cell seeded by identity hashing so any subset of
+// the grid re-runs byte-identically (see internal/grid).
+type GridSpec = grid.Spec
+
+// GridCellSpec is one declared block of grid cells.
+type GridCellSpec = grid.CellSpec
+
+// GridIndex is the deterministic record of an executed grid (grid.json).
+type GridIndex = grid.Index
+
+// LoadGridSpec reads and validates a grid spec file (experiments.json).
+func LoadGridSpec(path string) (*GridSpec, error) { return grid.Load(path) }
+
+// RunGrid executes every cell of a grid spec across workers goroutines
+// (one reusable DSP workspace per worker), archiving each cell as a
+// digest-verified run directory under outDir. The deterministic
+// artifacts are byte-identical for any worker count.
+func RunGrid(spec *GridSpec, outDir string, workers int) (*GridIndex, error) {
+	return grid.Run(spec, outDir, workers)
+}
+
+// ReportGrid reduces an archived grid run to grouped CSVs, markdown and
+// LaTeX tables and SVG plots under reportDir.
+func ReportGrid(runDir, reportDir string) error { return grid.Report(runDir, reportDir) }
+
+// VerifyGridDir checks every cell manifest of an archived grid run.
+func VerifyGridDir(dir string) error { return grid.VerifyDir(dir) }
+
+// GridDrivers lists the experiment drivers a grid spec may name.
+func GridDrivers() []string { return grid.Drivers() }
 
 // NewTrace returns a trace with the given column names.
 func NewTrace(cols ...string) *Trace { return sim.NewTrace(cols...) }
