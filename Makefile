@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-trend bench-history grid-smoke vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-gate7 bench-trend bench-history grid-smoke vet fmt experiments figures clean
 
 all: build test
 
@@ -60,6 +60,13 @@ BENCH6_OUT ?= $(CURDIR)/BENCH_6.json
 bench-json6:
 	MMTAG_BENCH6_JSON=$(BENCH6_OUT) $(GO) test -run 'TestWriteBenchJSON6' -v .
 
+# Time-series sampler overhead (BENCH_7.json): sampled vs metrics-only
+# burst allocation profile (asserted equal in-test) plus the
+# allocation-free Record micro-benchmarks.
+BENCH7_OUT ?= $(CURDIR)/BENCH_7.json
+bench-json7:
+	MMTAG_BENCH7_JSON=$(BENCH7_OUT) $(GO) test -run 'TestWriteBenchJSON7' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
@@ -97,9 +104,17 @@ bench-gate6:
 		-ratio "fir_block_inplace/fir_fft_block_ws>=5" \
 		-ratio "fft_radix2_1024/fft_radix4_1024_ws>=1.2"
 
+# Sampler overhead gate: machine-scaled ns/op + raw allocs/op. The hard
+# contract (sampled burst allocs == metrics-only burst allocs, Record
+# == 0 allocs) is asserted inside TestWriteBenchJSON7 itself, so the
+# fresh file cannot even be produced if sampling starts allocating.
+bench-gate7:
+	$(MAKE) bench-json7 BENCH7_OUT=/tmp/mmtag_bench7_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_7.json -fresh /tmp/mmtag_bench7_fresh.json -require-speedup 0 -tolerance 0.40
+
 # Markdown trend table across the whole BENCH_N.json history.
 bench-trend:
-	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
+	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json
 
 # Cross-PR history report + regression gate: regenerate the current
 # fast-path figures, render the per-metric trend over BENCH_1…6 plus the
@@ -107,10 +122,10 @@ bench-trend:
 # when any allocation-tracked benchmark regresses past the best count
 # ever recorded for it.
 bench-history:
-	$(MAKE) bench-json6 BENCH6_OUT=/tmp/mmtag_bench6_fresh.json
+	$(MAKE) bench-json7 BENCH7_OUT=/tmp/mmtag_bench7_fresh.json
 	$(GO) run ./tools/benchgate -history \
-		BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json \
-		/tmp/mmtag_bench6_fresh.json
+		BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json \
+		/tmp/mmtag_bench7_fresh.json
 
 # Grid smoke: run the committed smoke grid at two worker counts, verify
 # every cell manifest, and assert the deterministic artifacts are

@@ -20,6 +20,7 @@ import (
 	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/signal"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
@@ -1437,6 +1438,146 @@ func TestWriteBenchJSON6(t *testing.T) {
 		FFTConvSpeedup: ratio(byName("fir_block_inplace"), byName("fir_fft_block_ws")),
 		Radix4Speedup:  ratio(byName("fft_radix2_1024"), byName("fft_radix4_1024_ws")),
 		XCorrSpeedup:   ratio(byName("xcorr_direct_4096x256"), byName("xcorr_fft_4096x256_ws")),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Time-series sampler overhead (BENCH_7.json) -------------------
+//
+// The sampler's contract is that folding every metric update into the
+// virtual-time store adds zero allocations to the per-burst hot path:
+// BenchmarkWaveformBurstSampled must report exactly the allocs/op of
+// BenchmarkWaveformBurstMetricsEnabled, and the Record micro-benches
+// must be allocation-free in steady state. TestWriteBenchJSON7 asserts
+// both before emitting the file.
+
+func BenchmarkWaveformBurstSampled(b *testing.B) {
+	reg := obs.Enable()
+	defer obs.Disable()
+	if _, err := tsdb.Attach(reg, 1e-6); err != nil {
+		b.Fatal(err)
+	}
+	benchBurst(b)
+}
+
+func BenchmarkTSDBRecordCounter(b *testing.B) {
+	reg := obs.NewRegistry()
+	smp, err := tsdb.New(1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.SetSampleSink(smp)
+	reg.AddAt(0, "bench_total", 1) // bind the series outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.AddAt(float64(i%512)*1e-6, "bench_total", 1)
+	}
+}
+
+func BenchmarkTSDBRecordHistogram(b *testing.B) {
+	reg := obs.NewRegistry()
+	obs.RegisterBuckets("bench_seconds", 1e-6, 1e-5, 1e-4, 1e-3)
+	smp, err := tsdb.New(1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.SetSampleSink(smp)
+	reg.ObserveAt(0, "bench_seconds", 2e-5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.ObserveAt(float64(i%512)*1e-6, "bench_seconds", 2e-5)
+	}
+}
+
+// bench7Record is one row of BENCH_7.json.
+type bench7Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON7 emits BENCH_7.json: the time-series sampler
+// overhead figures, with the zero-extra-allocation contract asserted
+// in-test (sampled burst == metrics-only burst, Record micro-benches
+// == 0 allocs/op).
+func TestWriteBenchJSON7(t *testing.T) {
+	path := os.Getenv("MMTAG_BENCH7_JSON")
+	if path == "" {
+		t.Skip("set MMTAG_BENCH7_JSON=<path> to emit the benchmark JSON")
+	}
+	obs.Disable()
+	event.Disable()
+	signal.Disable()
+	run := func(name string, fn func(b *testing.B)) bench7Record {
+		best := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		t.Logf("%s: %d ns/op, %d allocs/op, %d B/op",
+			name, best.NsPerOp(), best.AllocsPerOp(), best.AllocedBytesPerOp())
+		return bench7Record{
+			Name:        name,
+			NsPerOp:     float64(best.NsPerOp()),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+	}
+	records := []bench7Record{
+		// Machine-speed calibration first, as in BENCH_2 through BENCH_6.
+		run("calibration_ook_modem", BenchmarkOOKModem),
+		run("waveform_burst_nop", BenchmarkWaveformBurst),
+		run("waveform_burst_metrics", BenchmarkWaveformBurstMetricsEnabled),
+		run("waveform_burst_sampled", BenchmarkWaveformBurstSampled),
+		run("tsdb_record_counter", BenchmarkTSDBRecordCounter),
+		run("tsdb_record_histogram", BenchmarkTSDBRecordHistogram),
+	}
+	byName := func(name string) bench7Record {
+		for _, r := range records {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing record %s", name)
+		return bench7Record{}
+	}
+	metrics := byName("waveform_burst_metrics")
+	sampled := byName("waveform_burst_sampled")
+	if sampled.AllocsPerOp != metrics.AllocsPerOp {
+		t.Fatalf("sampling changed the burst allocation profile: %d allocs/op sampled vs %d metrics-only",
+			sampled.AllocsPerOp, metrics.AllocsPerOp)
+	}
+	for _, name := range []string{"tsdb_record_counter", "tsdb_record_histogram"} {
+		if r := byName(name); r.AllocsPerOp != 0 {
+			t.Fatalf("%s: %d allocs/op, want 0 (steady-state Record must not allocate)", name, r.AllocsPerOp)
+		}
+	}
+	out := struct {
+		Schema     string         `json:"schema"`
+		Note       string         `json:"note"`
+		NumCPU     int            `json:"num_cpu"`
+		GoVersion  string         `json:"go_version"`
+		Benchmarks []bench7Record `json:"benchmarks"`
+		// SamplerAllocDelta is the asserted-zero allocation cost of
+		// attaching the sampler to the per-burst hot path.
+		SamplerAllocDelta int64 `json:"sampler_alloc_delta_per_burst"`
+	}{
+		Schema:            "mmtag-bench/7",
+		Note:              "regenerate with `make bench-json7`; ns/op is machine-dependent, allocs/op is not",
+		NumCPU:            runtime.NumCPU(),
+		GoVersion:         runtime.Version(),
+		Benchmarks:        records,
+		SamplerAllocDelta: sampled.AllocsPerOp - metrics.AllocsPerOp,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -36,6 +36,10 @@
 //	           artifacts are byte-identical for any worker count
 //	grid-report reduce an archived grid (-rundir DIR) to grouped CSVs,
 //	           markdown/LaTeX tables and SVG plots under -out DIR
+//	diff       compare the metric snapshots of two run directories:
+//	           -a DIR -b DIR [-tol REL] [-abs ABS] [-skip m1,m2];
+//	           prints a per-metric delta table and exits nonzero when
+//	           any metric moved beyond tolerance (CI regression gate)
 //
 // Flags:
 //
@@ -68,6 +72,13 @@
 //	               endpoints can be scraped mid-run
 //	-workers N     parallel workers for the sweep fan-outs (default
 //	               NumCPU); results are byte-identical for any N
+//	-sample DT     sample every counter/gauge/histogram into a virtual-
+//	               time series store at interval DT seconds; exposes
+//	               /timeseries, /alerts and /stream under -serve and
+//	               archives timeseries.json + alerts.jsonl in -rundir
+//	               (byte-identical for any -workers count)
+//	-alerts PATH   load SLO alert rules from PATH (JSON; default rules
+//	               when omitted); requires -sample
 //	-f PATH        grid spec file for the grid subcommand
 //	-out DIR       output directory for grid / grid-report
 package main
@@ -86,11 +97,14 @@ import (
 	"github.com/mmtag/mmtag/internal/experiments"
 	"github.com/mmtag/mmtag/internal/grid"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/alert"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
 	"github.com/mmtag/mmtag/internal/obs/serve"
 	"github.com/mmtag/mmtag/internal/obs/signal"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 	"github.com/mmtag/mmtag/internal/par"
+	"github.com/mmtag/mmtag/internal/rundiff"
 )
 
 // eventLogCapacity bounds the in-memory event log (~40 MB worst case at
@@ -121,6 +135,13 @@ type options struct {
 	flightrec int
 	specFile  string
 	outDir    string
+	sample    float64
+	alerts    string
+	diffA     string
+	diffB     string
+	diffTol   float64
+	diffAbs   float64
+	diffSkip  string
 }
 
 // allExperiments is the "all" subcommand's order.
@@ -147,8 +168,15 @@ func run(args []string) error {
 	fs.IntVar(&opt.flightrec, "flightrec", 0, "keep the K most recent failing bursts as IQ captures in -rundir (implies -taps)")
 	fs.StringVar(&opt.specFile, "f", "", "grid spec file (grid subcommand)")
 	fs.StringVar(&opt.outDir, "out", "", "output directory (grid, grid-report subcommands)")
+	fs.Float64Var(&opt.sample, "sample", 0, "sample metrics into a virtual-time series store at this interval in seconds (0 = off)")
+	fs.StringVar(&opt.alerts, "alerts", "", "SLO alert rules file (JSON); requires -sample, default rules when omitted")
+	fs.StringVar(&opt.diffA, "a", "", "baseline run directory (diff subcommand)")
+	fs.StringVar(&opt.diffB, "b", "", "candidate run directory (diff subcommand)")
+	fs.Float64Var(&opt.diffTol, "tol", 0.05, "relative tolerance for the diff gate (diff subcommand)")
+	fs.Float64Var(&opt.diffAbs, "abs", 1e-9, "absolute tolerance floor for the diff gate (diff subcommand)")
+	fs.StringVar(&opt.diffSkip, "skip", "", "comma-separated metric families to exclude from the diff gate")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify|grid|grid-report> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify|grid|grid-report|diff> [flags]")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -206,12 +234,60 @@ func run(args []string) error {
 		}
 		fmt.Printf("grid-report: %s -> %s\n", opt.rundir, opt.outDir)
 		return nil
+	case "diff":
+		if opt.diffA == "" || opt.diffB == "" {
+			return fmt.Errorf("diff: -a DIR and -b DIR are required")
+		}
+		var skip []string
+		for _, n := range strings.Split(opt.diffSkip, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				skip = append(skip, n)
+			}
+		}
+		res, err := rundiff.Diff(opt.diffA, opt.diffB, rundiff.Options{
+			RelTol: opt.diffTol, AbsTol: opt.diffAbs, Skip: skip,
+		})
+		if err != nil {
+			return err
+		}
+		if opt.csv {
+			fmt.Print(res.Table.CSV())
+		} else {
+			fmt.Print(res.Table.Plain())
+		}
+		if res.Failures > 0 {
+			return fmt.Errorf("diff: %d metric(s) beyond tolerance", res.Failures)
+		}
+		return nil
 	}
 	par.SetWorkers(opt.workers)
 	started := time.Now()
+	if opt.alerts != "" && opt.sample == 0 {
+		return fmt.Errorf("-alerts requires -sample (alert rules evaluate over sampled time series)")
+	}
 	var reg *obs.Registry
-	if opt.metrics != "" || opt.trace != "" || opt.serveAt != "" || opt.rundir != "" {
+	if opt.metrics != "" || opt.trace != "" || opt.serveAt != "" || opt.rundir != "" || opt.sample > 0 {
 		reg = obs.Enable()
+	}
+	var smp *tsdb.Sampler
+	var eng *alert.Engine
+	if opt.sample != 0 {
+		var err error
+		if smp, err = tsdb.Attach(reg, opt.sample); err != nil {
+			return err
+		}
+		tsdb.EnableWith(smp)
+		if opt.alerts != "" {
+			rules, err := alert.LoadRulesFile(opt.alerts)
+			if err != nil {
+				return err
+			}
+			if eng, err = alert.New(rules); err != nil {
+				return err
+			}
+		} else {
+			eng = alert.Default()
+		}
 	}
 	var evLog *event.Log
 	if opt.events != "" || opt.serveAt != "" || opt.rundir != "" {
@@ -235,6 +311,10 @@ func run(args []string) error {
 		srv = serve.New(reg, evLog)
 		if tap != nil {
 			srv.AttachSignal(tap)
+		}
+		if smp != nil {
+			srv.AttachTimeseries(smp)
+			srv.AttachAlerts(eng)
 		}
 		running, err := srv.Start(opt.serveAt)
 		if err != nil {
@@ -273,13 +353,13 @@ func run(args []string) error {
 	if srv != nil {
 		srv.SetPhase("done")
 	}
-	return writeObservability(reg, evLog, tap, started, name, opt)
+	return writeObservability(reg, evLog, tap, smp, eng, started, name, opt)
 }
 
 // writeObservability dumps the run's metrics, span trace, event log and
 // run manifest to the paths the -metrics / -trace / -events / -rundir
 // flags name.
-func writeObservability(reg *obs.Registry, evLog *event.Log, tap *signal.Tap, started time.Time, experiment string, opt options) error {
+func writeObservability(reg *obs.Registry, evLog *event.Log, tap *signal.Tap, smp *tsdb.Sampler, eng *alert.Engine, started time.Time, experiment string, opt options) error {
 	if reg == nil && evLog == nil {
 		return nil
 	}
@@ -289,6 +369,19 @@ func writeObservability(reg *obs.Registry, evLog *event.Log, tap *signal.Tap, st
 			return err
 		}
 		return os.WriteFile(path, data, 0o644)
+	}
+	// Alert transitions land in the event log before it is exported, so
+	// -events and the rundir's events.jsonl both carry them.
+	var transitions []alert.Transition
+	if smp != nil && eng != nil {
+		transitions, _ = eng.Evaluate(smp.Snapshot())
+		alert.Emit(transitions)
+		for _, tr := range transitions {
+			if tr.State == "firing" {
+				fmt.Fprintf(os.Stderr, "mmtag: alert %s firing at t=%.3gs (%s %s %g, threshold %g)\n",
+					tr.Rule, tr.T, tr.Metric, tr.State, tr.Value, tr.Threshold)
+			}
+		}
 	}
 	if evLog != nil {
 		if dropped, _ := evLog.Dropped(); dropped > 0 {
@@ -327,6 +420,12 @@ func writeObservability(reg *obs.Registry, evLog *event.Log, tap *signal.Tap, st
 			}
 			for _, f := range files {
 				extra = append(extra, manifest.ExtraFile{Name: f.Name, Data: f.Data})
+			}
+		}
+		if smp != nil {
+			extra = append(extra, manifest.ExtraFile{Name: "timeseries.json", Data: smp.JSON()})
+			if eng != nil {
+				extra = append(extra, manifest.ExtraFile{Name: "alerts.jsonl", Data: alert.EncodeJSONL(transitions)})
 			}
 		}
 		if _, err := manifest.Write(opt.rundir, info, reg, evLog, extra...); err != nil {

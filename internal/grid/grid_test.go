@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/mmtag/mmtag/internal/obs"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
 )
 
@@ -236,5 +237,88 @@ func TestReportDeterministicArtifacts(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "ber,0,2000,mc_ber_8db,2,") {
 		t.Errorf("grouped CSV lacks the aggregated ber row:\n%s", data)
+	}
+}
+
+// sampledSpec is a cheap grid with virtual-time sampling on.
+func sampledSpec() *Spec {
+	return &Spec{
+		Schema:   SpecSchema,
+		Name:     "sampled",
+		Seed:     7,
+		SampleDT: 1e-6,
+		Cells: []CellSpec{
+			{Driver: "arq", Points: []int{4}},
+			{Driver: "beamwidth"},
+		},
+	}
+}
+
+func TestSampledGridArchivesTimeseriesAndAlerts(t *testing.T) {
+	spec := sampledSpec()
+	dir := t.TempDir()
+	idx, err := Run(spec, dir, 2)
+	if err != nil {
+		t.Fatalf("Run(sampled): %v", err)
+	}
+	for _, c := range idx.Cells {
+		for _, name := range []string{"timeseries.json", "alerts.jsonl"} {
+			if _, err := os.Stat(filepath.Join(dir, c.Dir, name)); err != nil {
+				t.Fatalf("cell %s: %s not archived: %v", c.ID, name, err)
+			}
+		}
+		if _, ok := c.Metrics["alerts_total"]; !ok {
+			t.Fatalf("cell %s: alerts_total metric missing: %v", c.ID, c.Metrics)
+		}
+		if _, ok := c.Metrics["alerts_fired"]; !ok {
+			t.Fatalf("cell %s: alerts_fired metric missing: %v", c.ID, c.Metrics)
+		}
+	}
+	ts, err := os.ReadFile(filepath.Join(dir, "cells", "arq_p4_b0_r0", "timeseries.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ts), `"name":"mac_arq_frame_latency_seconds"`) {
+		t.Fatalf("arq cell timeseries missing latency series:\n%.300s", ts)
+	}
+	if err := VerifyDir(dir); err != nil {
+		t.Fatalf("sampled grid verify: %v", err)
+	}
+}
+
+func TestSampledGridWorkerCountInvariance(t *testing.T) {
+	spec := sampledSpec()
+	dir1 := t.TempDir()
+	dir4 := t.TempDir()
+	if _, err := Run(spec, dir1, 1); err != nil {
+		t.Fatalf("Run(workers=1): %v", err)
+	}
+	if _, err := Run(spec, dir4, 4); err != nil {
+		t.Fatalf("Run(workers=4): %v", err)
+	}
+	f1, f4 := deterministicFiles(t, dir1), deterministicFiles(t, dir4)
+	if len(f1) != len(f4) {
+		t.Fatalf("file sets differ: %d vs %d", len(f1), len(f4))
+	}
+	for rel, a := range f1 {
+		b, ok := f4[rel]
+		if !ok {
+			t.Fatalf("%s missing at workers=4", rel)
+		}
+		if a != b {
+			t.Fatalf("%s differs between 1 and 4 workers", rel)
+		}
+	}
+}
+
+func TestSampledGridLeavesGlobalObsDisabled(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("precondition: global obs must be off")
+	}
+	if _, err := Run(sampledSpec(), t.TempDir(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Fatal("sampled grid run leaked the global registry")
 	}
 }

@@ -113,6 +113,38 @@ func Report(runDir, reportDir string) error {
 	var md, tex strings.Builder
 	fmt.Fprintf(&md, "# Grid report: %s\n\n", idx.Name)
 	fmt.Fprintf(&tex, "%% Grid report: %s\n", idx.Name)
+
+	// Alerts overview: one row per cell with a fired/total summary, only
+	// when the grid ran sampled (sample_dt > 0 archives alert state).
+	hasAlerts := false
+	for _, c := range cells {
+		if _, ok := c.Metrics["alerts_total"]; ok {
+			hasAlerts = true
+			break
+		}
+	}
+	if hasAlerts {
+		alertTab := render.New("cells — SLO alert summary",
+			render.Col("cell"), render.Col("driver"),
+			render.Column{Header: "points", Align: render.Right, Format: render.Int()},
+			render.Column{Header: "bits", Align: render.Right, Format: render.Int()},
+			render.Column{Header: "repeat", Align: render.Right, Format: render.Int()},
+			render.Column{Header: "alerts", Align: render.Right},
+		)
+		for _, c := range cells {
+			total, ok := c.Metrics["alerts_total"]
+			summary := "n/a"
+			if ok {
+				summary = fmt.Sprintf("%d/%d", int(c.Metrics["alerts_fired"]), int(total))
+			}
+			alertTab.Add(c.ID, c.Driver, c.Points, c.Bits, c.Repeat, summary)
+		}
+		if err := writeFile(reportDir, "summary_alerts.csv", alertTab.CSV()); err != nil {
+			return err
+		}
+		md.WriteString(alertTab.Markdown())
+		md.WriteString("\n")
+	}
 	for _, d := range driverOrder(groups) {
 		t := render.New(fmt.Sprintf("%s — grouped over repeats", d),
 			render.Column{Header: "points", Align: render.Right, Format: render.Int()},

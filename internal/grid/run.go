@@ -6,10 +6,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/mmtag/mmtag/internal/dsp"
+	"github.com/mmtag/mmtag/internal/experiments"
+	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/alert"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 	"github.com/mmtag/mmtag/internal/par"
 )
 
@@ -52,7 +57,11 @@ type Index struct {
 // event, signal) enabled — concurrent cells would interleave into the
 // shared stores and drivers that read obs.Active() would emit
 // worker-count-dependent notes. The cmd/mmtag grid subcommand runs
-// before its observability setup for exactly this reason.
+// before its observability setup for exactly this reason. With
+// spec.SampleDT > 0 each cell briefly owns the process-wide registry
+// (fresh per cell, serialized by sampleMu) so its driver's metric
+// updates fold into a cell-local time-series store; the registry is
+// dropped again before the next cell starts.
 func Run(spec *Spec, outDir string, workers int) (*Index, error) {
 	cells, err := spec.Expand()
 	if err != nil {
@@ -67,9 +76,19 @@ func Run(spec *Spec, outDir string, workers int) (*Index, error) {
 		dsp.NewWorkspace,
 		func(ws *dsp.Workspace, i int) error {
 			c := cells[i]
-			tab, metrics, err := runCell(c, ws)
-			if err != nil {
-				return err
+			var (
+				tab     experiments.Table
+				metrics map[string]float64
+				sampled []manifest.ExtraFile
+				cellErr error
+			)
+			if spec.SampleDT > 0 {
+				tab, metrics, sampled, cellErr = runCellSampled(spec, c, ws)
+			} else {
+				tab, metrics, cellErr = runCell(c, ws)
+			}
+			if cellErr != nil {
+				return cellErr
 			}
 			if metrics == nil {
 				metrics = map[string]float64{}
@@ -95,12 +114,13 @@ func Run(spec *Spec, outDir string, workers int) (*Index, error) {
 			// nil registry / event log: the cell archive holds only the
 			// deterministic artifacts plus manifest.json (the one file
 			// allowed to differ between runs).
-			_, err = manifest.Write(filepath.Join(outDir, rel), info, nil, nil,
-				manifest.ExtraFile{Name: "table.txt", Data: []byte(tab.Render())},
-				manifest.ExtraFile{Name: "table.csv", Data: []byte(tab.CSV())},
-				manifest.ExtraFile{Name: "cell.json", Data: append(cellJSON, '\n')},
-			)
-			if err != nil {
+			extra := []manifest.ExtraFile{
+				{Name: "table.txt", Data: []byte(tab.Render())},
+				{Name: "table.csv", Data: []byte(tab.CSV())},
+				{Name: "cell.json", Data: append(cellJSON, '\n')},
+			}
+			extra = append(extra, sampled...)
+			if _, err := manifest.Write(filepath.Join(outDir, rel), info, nil, nil, extra...); err != nil {
 				return err
 			}
 			results[i] = CellResult{Cell: c, Dir: rel, Metrics: metrics}
@@ -118,6 +138,50 @@ func Run(spec *Spec, outDir string, workers int) (*Index, error) {
 		return nil, fmt.Errorf("grid: %w", err)
 	}
 	return idx, nil
+}
+
+// sampleMu serializes sampled cells: the simulation's instrumentation
+// reports to the one process-wide registry, so each sampled cell must
+// own it exclusively while it runs.
+var sampleMu sync.Mutex
+
+// runCellSampled executes one cell against a fresh registry + sampler
+// and returns the cell's timeseries.json / alerts.jsonl artifacts plus
+// alerts_fired / alerts_total summary metrics. The registry is global
+// only for the duration of the cell (see sampleMu); the caller's
+// no-global-observability contract is restored on return.
+func runCellSampled(spec *Spec, c Cell, ws *dsp.Workspace) (experiments.Table, map[string]float64, []manifest.ExtraFile, error) {
+	sampleMu.Lock()
+	defer sampleMu.Unlock()
+	reg := obs.NewRegistry()
+	smp, err := tsdb.Attach(reg, spec.SampleDT)
+	if err != nil {
+		return experiments.Table{}, nil, nil, fmt.Errorf("grid: cell %s: %w", c.ID, err)
+	}
+	obs.EnableWith(reg)
+	defer obs.Disable()
+	tab, metrics, err := runCell(c, ws)
+	if err != nil {
+		return experiments.Table{}, nil, nil, err
+	}
+	if metrics == nil {
+		metrics = map[string]float64{}
+	}
+	eng := alert.Default()
+	trans, states := eng.Evaluate(smp.Snapshot())
+	fired := 0
+	for _, st := range states {
+		if st.Fired > 0 {
+			fired++
+		}
+	}
+	metrics["alerts_fired"] = float64(fired)
+	metrics["alerts_total"] = float64(len(states))
+	extra := []manifest.ExtraFile{
+		{Name: "timeseries.json", Data: smp.JSON()},
+		{Name: "alerts.jsonl", Data: alert.EncodeJSONL(trans)},
+	}
+	return tab, metrics, extra, nil
 }
 
 // ReadIndex loads a grid run directory's index.

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"sort"
 
@@ -39,6 +40,16 @@ type Spec struct {
 	// Seed is the grid master seed; every cell derives its own seed from
 	// it by identity hashing (see Expand).
 	Seed uint64 `json:"seed"`
+	// SampleDT, when positive, samples every cell's metrics into a
+	// virtual-time series store at this interval (seconds): each cell
+	// runs against its own fresh registry + sampler and archives
+	// timeseries.json and alerts.jsonl (default SLO rules) alongside its
+	// tables, and the run index gains alerts_fired / alerts_total
+	// metrics per cell. Sampled cells execute serially — the simulation
+	// instrumentation reports to one process-wide registry, so
+	// concurrent cells would interleave (the artifacts stay
+	// worker-count-invariant either way).
+	SampleDT float64 `json:"sample_dt,omitempty"`
 	// Cells declare the grid axes.
 	Cells []CellSpec `json:"cells"`
 }
@@ -105,6 +116,9 @@ func (s *Spec) Validate() error {
 	}
 	if len(s.Cells) == 0 {
 		return fmt.Errorf("no cells declared")
+	}
+	if math.IsNaN(s.SampleDT) || math.IsInf(s.SampleDT, 0) || s.SampleDT < 0 {
+		return fmt.Errorf("sample_dt %g: must be a finite interval >= 0", s.SampleDT)
 	}
 	for i, c := range s.Cells {
 		if _, ok := drivers[c.Driver]; !ok {

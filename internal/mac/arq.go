@@ -113,8 +113,10 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 		if attempt == 0 {
 			payload = src.Bytes(payloadBuf)
 			res.FramesOffered++
+			obs.IncAt(now, "mac_arq_frames_offered_total")
 		}
 		res.Transmissions++
+		obs.IncAt(now, "mac_arq_transmissions_total")
 		r, err := l.RunWaveformWS(ws, payload, bw, src)
 		if err != nil {
 			runErr = err
@@ -127,10 +129,11 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 		switch {
 		case ok:
 			res.FramesDelivered++
+			obs.IncAt(now, "mac_arq_frames_delivered_total")
 			// Frame latency on the virtual clock: the air time of every
 			// transmission this frame needed (the poll/ACK turnaround is
 			// modeled as free — downlink is not the bottleneck).
-			obs.Observe("mac_arq_frame_latency_seconds", float64(attempt+1)*burstS)
+			obs.ObserveAt(now, "mac_arq_frame_latency_seconds", float64(attempt+1)*burstS)
 			if event.Enabled() {
 				event.Emit(now, event.LevelInfo, "mac.arq", "deliver",
 					event.D("frame", frameIdx), event.D("attempts", attempt+1),
@@ -138,7 +141,7 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 			}
 		case attempt < cfg.MaxRetries:
 			attempt++
-			obs.Inc("mac_arq_retries_total")
+			obs.IncAt(now, "mac_arq_retries_total")
 			if event.Enabled() {
 				event.Emit(now, event.LevelInfo, "mac.arq", "retry",
 					event.D("frame", frameIdx), event.D("attempt", attempt),
@@ -148,13 +151,13 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 			return
 		default:
 			res.ResidualErrors++
-			obs.Inc("mac_arq_residual_errors_total")
+			obs.IncAt(now, "mac_arq_residual_errors_total")
 			if t := signal.Active(); t != nil {
 				// The frame is lost for good: preserve its last burst in
 				// the flight recorder for post-mortem demodulation.
 				t.RecordLastBurst(signal.TriggerARQResidual)
 			}
-			obs.Observe("mac_arq_frame_latency_seconds", float64(attempt+1)*burstS)
+			obs.ObserveAt(now, "mac_arq_frame_latency_seconds", float64(attempt+1)*burstS)
 			if event.Enabled() {
 				event.Emit(now, event.LevelWarn, "mac.arq", "residual",
 					event.D("frame", frameIdx), event.D("attempts", attempt+1),
@@ -184,8 +187,8 @@ func RunARQWS(ws *dsp.Workspace, l *core.Link, bw units.ReaderBandwidth, nFrames
 		res.GoodputFraction = float64(res.FramesDelivered*payloadBits) / float64(totalBits)
 	}
 	res.GoodputBps = res.GoodputFraction * bw.BitRate()
-	obs.Add("mac_arq_frames_offered_total", float64(res.FramesOffered))
-	obs.Add("mac_arq_frames_delivered_total", float64(res.FramesDelivered))
-	obs.Add("mac_arq_transmissions_total", float64(res.Transmissions))
+	// Frame/transmission counters are folded per burst at virtual time
+	// (see the burst closure), so the sampled time series carries the
+	// run's shape instead of one end-of-run step.
 	return res, nil
 }

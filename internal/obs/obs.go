@@ -97,6 +97,23 @@ func (Nop) StartSpanAt(string, float64, ...Label) *Span { return nil }
 // by Observe, labeled by the metric they were aimed at.
 const NaNCounterName = "obs_nan_observations_total"
 
+// SampleSink receives every metric update, pre-resolved to a per-series
+// handle, so a time-series store (internal/obs/tsdb) can fold updates
+// into virtual-time slots without any map lookups on the hot path. Both
+// methods are called with the registry mutex held: implementations must
+// not call back into the registry, and Record must not allocate in
+// steady state (BindSeries runs once per series and may).
+type SampleSink interface {
+	// BindSeries is called on a series' first update after the sink is
+	// installed. buckets is nil except for histograms. The returned
+	// handle is passed verbatim to every subsequent Record.
+	BindSeries(name string, kind Kind, labels []Label, buckets []float64) any
+	// Record folds one update at virtual time t (seconds): the delta
+	// for counters, the new value for gauges, the sample for
+	// histograms.
+	Record(handle any, t, value float64)
+}
+
 // DefaultBuckets bound histograms that were not given explicit buckets
 // via RegisterBuckets: decades from 1 µs to 100 (seconds, mostly).
 var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
@@ -138,6 +155,8 @@ type series struct {
 	count    uint64
 	sum      float64
 	min, max float64
+	// sink is the SampleSink handle, bound lazily on first update.
+	sink any
 }
 
 // family groups the series sharing one metric name.
@@ -155,6 +174,7 @@ type Registry struct {
 	order    []string // family insertion order
 
 	clock func() float64
+	sink  SampleSink
 
 	nextSpanID uint64
 	spans      []SpanRecord
@@ -179,6 +199,16 @@ func (r *Registry) SetClock(fn func() float64) {
 	}
 	r.mu.Lock()
 	r.clock = fn
+	r.mu.Unlock()
+}
+
+// SetSampleSink installs (or, with nil, removes) the registry's sample
+// sink. Install it before recording: series touched while no sink was
+// set keep a nil handle until their next update, so samples recorded in
+// between are seen by the registry but not the sink.
+func (r *Registry) SetSampleSink(s SampleSink) {
+	r.mu.Lock()
+	r.sink = s
 	r.mu.Unlock()
 }
 
@@ -242,21 +272,54 @@ func (r *Registry) getSeries(name string, kind Kind, labels []Label) *series {
 	return s
 }
 
+// sample forwards one update to the sink; caller holds r.mu.
+func (r *Registry) sample(name string, s *series, kind Kind, t, v float64) {
+	if r.sink == nil {
+		return
+	}
+	if s.sink == nil {
+		var buckets []float64
+		if kind == KindHistogram {
+			buckets = r.families[name].buckets
+		}
+		s.sink = r.sink.BindSeries(name, kind, s.labels, buckets)
+	}
+	r.sink.Record(s.sink, t, v)
+}
+
 // Add increments a counter. Negative deltas are ignored (counters are
 // monotone by contract).
 func (r *Registry) Add(name string, delta float64, labels ...Label) {
+	r.AddAt(0, name, delta, labels...)
+}
+
+// AddAt is Add at an explicit virtual time (seconds), which the sample
+// sink uses to place the delta on the time axis. The registry value is
+// time-independent; Add is AddAt at t = 0.
+func (r *Registry) AddAt(t float64, name string, delta float64, labels ...Label) {
 	if delta < 0 || math.IsNaN(delta) {
 		return
 	}
 	r.mu.Lock()
-	r.getSeries(name, KindCounter, labels).value += delta
+	s := r.getSeries(name, KindCounter, labels)
+	s.value += delta
+	r.sample(name, s, KindCounter, t, delta)
 	r.mu.Unlock()
 }
 
 // Set sets a gauge.
 func (r *Registry) Set(name string, value float64, labels ...Label) {
+	r.SetAt(0, name, value, labels...)
+}
+
+// SetAt is Set at an explicit virtual time (seconds). Within one sample
+// slot the sink keeps the value with the latest t, so gauge series stay
+// deterministic however worker goroutines interleave.
+func (r *Registry) SetAt(t float64, name string, value float64, labels ...Label) {
 	r.mu.Lock()
-	r.getSeries(name, KindGauge, labels).value = value
+	s := r.getSeries(name, KindGauge, labels)
+	s.value = value
+	r.sample(name, s, KindGauge, t, value)
 	r.mu.Unlock()
 }
 
@@ -264,8 +327,13 @@ func (r *Registry) Set(name string, value float64, labels ...Label) {
 // the distribution and counted under NaNCounterName instead, so a NaN
 // estimate (e.g. an inestimable SNR) cannot poison min/mean/max.
 func (r *Registry) Observe(name string, value float64, labels ...Label) {
+	r.ObserveAt(0, name, value, labels...)
+}
+
+// ObserveAt is Observe at an explicit virtual time (seconds).
+func (r *Registry) ObserveAt(t float64, name string, value float64, labels ...Label) {
 	if math.IsNaN(value) {
-		r.Add(NaNCounterName, 1, Label{Key: "metric", Value: name})
+		r.AddAt(t, NaNCounterName, 1, Label{Key: "metric", Value: name})
 		return
 	}
 	r.mu.Lock()
@@ -277,6 +345,7 @@ func (r *Registry) Observe(name string, value float64, labels ...Label) {
 	s.sum += value
 	s.min = math.Min(s.min, value)
 	s.max = math.Max(s.max, value)
+	r.sample(name, s, KindHistogram, t, value)
 	r.mu.Unlock()
 }
 
@@ -338,6 +407,34 @@ func Set(name string, value float64, labels ...Label) {
 func Observe(name string, value float64, labels ...Label) {
 	if r := active.Load(); r != nil {
 		r.Observe(name, value, labels...)
+	}
+}
+
+// IncAt increments a counter by 1 at an explicit virtual time.
+func IncAt(t float64, name string, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.AddAt(t, name, 1, labels...)
+	}
+}
+
+// AddAt increments a counter at an explicit virtual time.
+func AddAt(t float64, name string, delta float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.AddAt(t, name, delta, labels...)
+	}
+}
+
+// SetAt sets a gauge at an explicit virtual time.
+func SetAt(t float64, name string, value float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.SetAt(t, name, value, labels...)
+	}
+}
+
+// ObserveAt records a histogram sample at an explicit virtual time.
+func ObserveAt(t float64, name string, value float64, labels ...Label) {
+	if r := active.Load(); r != nil {
+		r.ObserveAt(t, name, value, labels...)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 	"github.com/mmtag/mmtag/internal/plot"
 )
 
@@ -24,15 +25,30 @@ const (
 )
 
 // dashboardHTML renders the link-health dashboard: a scoreboard over the
-// metric registry and event log, sparkline trends and the most recent
-// tapped burst's constellation and spectrum. Entirely self-contained
-// HTML+SVG — no scripts, no external assets.
+// metric registry and event log, time-axis charts over the virtual-time
+// sampler, alert states, sparkline trends and the most recent tapped
+// burst's constellation and spectrum. Self-contained HTML+SVG with one
+// inline refresh script: each SSE frame from /stream triggers a
+// re-fetch and body swap, and browsers without JavaScript fall back to
+// the old 5-second meta-refresh via <noscript>.
 func (s *Server) dashboardHTML() string {
 	var b strings.Builder
 	b.WriteString(`<!DOCTYPE html>
 <html><head><meta charset="utf-8">
-<meta http-equiv="refresh" content="5">
+<noscript><meta http-equiv="refresh" content="5"></noscript>
 <title>mmtag link health</title>
+<script>
+(function () {
+	if (!window.EventSource || !window.fetch) return;
+	var es = new EventSource('/stream');
+	es.onmessage = function () {
+		fetch('/dashboard').then(function (r) { return r.text(); }).then(function (html) {
+			var doc = new DOMParser().parseFromString(html, 'text/html');
+			document.body.innerHTML = doc.body.innerHTML;
+		}).catch(function () {});
+	};
+})();
+</script>
 <style>
 body { font-family: sans-serif; margin: 1.5em; color: #222; }
 h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
@@ -56,7 +72,9 @@ table.score th { background: #f0f0f0; text-align: left; font-weight: normal; }
 		snap = s.reg.Snapshot()
 	}
 	s.writeScoreboard(&b, snap)
+	s.writeAlerts(&b)
 	s.writeEventSummary(&b)
+	s.writeTimeseriesCharts(&b)
 	s.writeTrends(&b)
 	s.writeLastBurst(&b)
 
@@ -128,6 +146,40 @@ func (s *Server) writeScoreboard(b *strings.Builder, snap obs.Snapshot) {
 	b.WriteString("</table>\n")
 }
 
+// writeAlerts renders the SLO rule panel: one row per rule with its
+// live state, plus the most recent transitions. Pure function of the
+// sampler snapshot, so it lives inside the deterministic section.
+func (s *Server) writeAlerts(b *strings.Builder) {
+	if s.alerts == nil || s.ts == nil {
+		return
+	}
+	trans, states := s.alerts.Evaluate(s.ts.Snapshot())
+	b.WriteString("<h2>Alerts</h2>\n<table class=\"score\">\n")
+	for _, rs := range states {
+		class := "ok"
+		if rs.State == "firing" {
+			class = "bad"
+		}
+		fmt.Fprintf(b, "<tr><th>%s</th><td class=%q>%s (fired %d)</td></tr>\n",
+			html.EscapeString(rs.Rule), class, rs.State, rs.Fired)
+	}
+	b.WriteString("</table>\n")
+	if n := len(trans); n > 0 {
+		lo := n - 8
+		if lo < 0 {
+			lo = 0
+		}
+		b.WriteString("<p class=\"proc\">")
+		for i, tr := range trans[lo:] {
+			if i > 0 {
+				b.WriteString(" · ")
+			}
+			fmt.Fprintf(b, "t=%.3gs %s %s", tr.T, html.EscapeString(tr.Rule), tr.State)
+		}
+		b.WriteString("</p>\n")
+	}
+}
+
 func (s *Server) writeEventSummary(b *strings.Builder) {
 	if s.log == nil {
 		return
@@ -145,6 +197,125 @@ func (s *Server) writeEventSummary(b *strings.Builder) {
 		fmt.Fprintf(b, "<tr><th>%s</th><td>%d</td></tr>\n", html.EscapeString(cs.Category), cs.Count)
 	}
 	b.WriteString("</table>\n")
+}
+
+// timeseriesChart is one whitelisted time-axis panel over the sampler.
+type timeseriesChart struct {
+	metric string
+	title  string
+	ylabel string
+	hist   bool    // histogram quantile vs counter delta-per-slot
+	q      float64 // quantile when hist
+	scale  float64 // y scale factor (e.g. seconds → µs)
+}
+
+var timeseriesCharts = []timeseriesChart{
+	{"mac_arq_frame_latency_seconds", "ARQ frame latency p99 over virtual time", "p99 (µs)", true, 0.99, 1e6},
+	{"core_bit_errors_total", "Bit errors per sample slot", "errors", false, 0, 1},
+	{"mac_arq_transmissions_total", "ARQ transmissions per sample slot", "bursts", false, 0, 1},
+	{"signal_snr_est_db", "SNR estimate p50 over virtual time", "SNR (dB)", true, 0.5, 1},
+}
+
+// writeTimeseriesCharts renders the virtual-time panels for every
+// whitelisted metric with at least two sampled slots. The sampler
+// snapshot is deterministic (sorted series, schedule-independent
+// folds), so these charts live inside the deterministic section.
+func (s *Server) writeTimeseriesCharts(b *strings.Builder) {
+	if s.ts == nil {
+		return
+	}
+	snap := s.ts.Snapshot()
+	if len(snap.Series) == 0 {
+		return
+	}
+	wrote := false
+	for _, spec := range timeseriesCharts {
+		xs, ys := mergeSeries(snap, spec)
+		if len(xs) < 2 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "<h2>Time series (virtual clock)</h2>\n")
+			fmt.Fprintf(b, "<p class=\"proc\">dt %.3g s · stride %d · %d updates folded into %d slot(s)</p>\n",
+				snap.DT, snap.Stride, snap.Updates, snap.Updates-snap.Folded)
+			wrote = true
+		}
+		chart := plot.Chart{
+			Title:  spec.title,
+			XLabel: "virtual time (µs)", YLabel: spec.ylabel,
+			Width: 520, Height: 300,
+			Series: []plot.Series{{Name: spec.metric, X: xs, Y: ys, Points: true}},
+		}
+		if svg, err := chart.SVG(); err == nil {
+			b.WriteString("<div class=\"panel\">" + svg + "</div>\n")
+		}
+	}
+}
+
+// mergeSeries folds every series of the chart's metric family into one
+// (x, y) sequence on the slot grid: counter deltas sum across labels,
+// histogram windows merge their bucket counts before the quantile.
+func mergeSeries(snap tsdb.Snapshot, spec timeseriesChart) (xs, ys []float64) {
+	slotDur := float64(snap.Stride) * snap.DT
+	if slotDur <= 0 {
+		return nil, nil
+	}
+	type slot struct {
+		occupied bool
+		v        float64
+		counts   []uint64
+	}
+	slots := map[int]*slot{}
+	var bounds []float64
+	maxIdx := -1
+	for _, se := range snap.Series {
+		if se.Name != spec.metric {
+			continue
+		}
+		if spec.hist != (se.Kind == obs.KindHistogram) {
+			continue
+		}
+		bounds = se.Buckets
+		for _, p := range se.Points {
+			i := int(math.Round(p.T / slotDur))
+			sl := slots[i]
+			if sl == nil {
+				sl = &slot{}
+				slots[i] = sl
+			}
+			sl.occupied = true
+			if spec.hist {
+				if sl.counts == nil {
+					sl.counts = make([]uint64, len(se.Buckets)+1)
+				}
+				for b := 0; b < len(sl.counts) && b < len(p.Counts); b++ {
+					sl.counts[b] += p.Counts[b]
+				}
+			} else {
+				sl.v += p.V
+			}
+			if i > maxIdx {
+				maxIdx = i
+			}
+		}
+	}
+	for i := 0; i <= maxIdx; i++ {
+		sl := slots[i]
+		if sl == nil || !sl.occupied {
+			continue
+		}
+		y := sl.v
+		if spec.hist {
+			v, ok := tsdb.Quantile(bounds, sl.counts, spec.q)
+			if !ok {
+				continue
+			}
+			y = v
+		}
+		xs = append(xs, float64(i)*slotDur*1e6)
+		ys = append(ys, y*spec.scale)
+	}
+	return xs, ys
 }
 
 func (s *Server) writeTrends(b *strings.Builder) {

@@ -10,6 +10,9 @@
 //	GET /metrics.json    obs.Snapshot as indented JSON
 //	GET /trace           finished spans (+ drop counter) as JSON
 //	GET /events          structured event log as JSON Lines
+//	GET /timeseries      sampled virtual-time series (timeseries.json)
+//	GET /alerts          SLO rule states + transitions as JSON
+//	GET /stream          live status frames as Server-Sent Events
 //	GET /healthz         build info, uptime, run phase, store sizes
 //	GET /dashboard       self-contained HTML+SVG link-health dashboard
 //	GET /debug/pprof/…   the standard Go profiling suite
@@ -35,8 +38,10 @@ import (
 
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/alert"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/signal"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 )
 
 // PrometheusContentType is the content type of GET /metrics, per the
@@ -47,11 +52,13 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // Either store may be nil; the matching endpoints then serve an empty
 // (but well-formed) body.
 type Server struct {
-	reg   *obs.Registry
-	log   *event.Log
-	sig   *signal.Tap
-	start time.Time
-	phase atomic.Value // string: what the process is currently doing
+	reg    *obs.Registry
+	log    *event.Log
+	sig    *signal.Tap
+	ts     *tsdb.Sampler
+	alerts *alert.Engine
+	start  time.Time
+	phase  atomic.Value // string: what the process is currently doing
 
 	// dashMu serializes dashboard renders so they can share dashWS, the
 	// workspace backing the spectrum/constellation DSP — repeated scrapes
@@ -72,6 +79,16 @@ func New(reg *obs.Registry, log *event.Log) *Server {
 // constellation/spectrum panels and /healthz the flight-recorder state.
 // Call before Start; a nil tap detaches.
 func (s *Server) AttachSignal(t *signal.Tap) { s.sig = t }
+
+// AttachTimeseries wires the virtual-time sampler into the server:
+// /timeseries serves its artifact, /dashboard gains time-axis charts
+// and /healthz the occupancy stats. Call before Start; nil detaches.
+func (s *Server) AttachTimeseries(t *tsdb.Sampler) { s.ts = t }
+
+// AttachAlerts wires an SLO rule engine into the server (evaluated on
+// the attached sampler): /alerts serves rule states and transitions,
+// /healthz the firing/pending counts. Call before Start; nil detaches.
+func (s *Server) AttachAlerts(e *alert.Engine) { s.alerts = e }
 
 // SetPhase records what the process is doing right now ("ber", "arq",
 // "done"); /healthz reports it so a watcher can follow a long sweep.
@@ -111,6 +128,22 @@ type Health struct {
 	FlightOccupied int    `json:"flight_occupied"`
 	FlightCapacity int    `json:"flight_capacity"`
 	FlightTriggers uint64 `json:"flight_triggers"`
+	// SamplerSeries / SamplerSlotsOccupied / SamplerSlotCapacity report
+	// time-series sampler occupancy (−1 = no sampler attached);
+	// SamplerStride is the downsampling tier (ticks per slot) and
+	// SamplerFolded how many updates were merged away by slotting and
+	// downsampling.
+	SamplerSeries        int    `json:"sampler_series"`
+	SamplerSlotsOccupied int    `json:"sampler_slots_occupied"`
+	SamplerSlotCapacity  int    `json:"sampler_slot_capacity"`
+	SamplerStride        uint64 `json:"sampler_stride"`
+	SamplerFolded        uint64 `json:"sampler_folded"`
+	// AlertsFiring / AlertsPending count SLO rules per state, and
+	// AlertRules maps each rule to its current state (absent when no
+	// engine + sampler pair is attached).
+	AlertsFiring  int               `json:"alerts_firing"`
+	AlertsPending int               `json:"alerts_pending"`
+	AlertRules    map[string]string `json:"alert_rules,omitempty"`
 }
 
 // health assembles the current Health.
@@ -128,6 +161,10 @@ func (s *Server) health() Health {
 
 		FlightOccupied: -1,
 		FlightCapacity: -1,
+
+		SamplerSeries:        -1,
+		SamplerSlotsOccupied: -1,
+		SamplerSlotCapacity:  -1,
 	}
 	if s.reg != nil {
 		snap := s.reg.Snapshot()
@@ -145,6 +182,27 @@ func (s *Server) health() Health {
 	if s.sig != nil {
 		h.TapBursts = s.sig.Bursts()
 		h.FlightOccupied, h.FlightCapacity, h.FlightTriggers = s.sig.FlightStats()
+	}
+	if s.ts != nil {
+		st := s.ts.Stats()
+		h.SamplerSeries = st.Series
+		h.SamplerSlotsOccupied = st.SlotsOccupied
+		h.SamplerSlotCapacity = st.SlotCapacity
+		h.SamplerStride = st.Stride
+		h.SamplerFolded = st.Folded
+	}
+	if s.alerts != nil && s.ts != nil {
+		_, states := s.alerts.Evaluate(s.ts.Snapshot())
+		h.AlertRules = make(map[string]string, len(states))
+		for _, rs := range states {
+			h.AlertRules[rs.Rule] = rs.State
+			switch rs.State {
+			case "firing":
+				h.AlertsFiring++
+			case "pending":
+				h.AlertsPending++
+			}
+		}
 	}
 	return h
 }
@@ -204,6 +262,76 @@ func (s *Server) Handler() http.Handler {
 			s.log.WriteJSONL(w)
 		}
 	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/timeseries")
+		w.Header().Set("Content-Type", "application/json")
+		if s.ts == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		w.Write(s.ts.JSON())
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/alerts")
+		w.Header().Set("Content-Type", "application/json")
+		payload := struct {
+			Schema      string             `json:"schema"`
+			Rules       []alert.RuleState  `json:"rules"`
+			Transitions []alert.Transition `json:"transitions"`
+		}{Schema: alert.SchemaAlerts, Rules: []alert.RuleState{}, Transitions: []alert.Transition{}}
+		if s.alerts != nil && s.ts != nil {
+			trans, states := s.alerts.Evaluate(s.ts.Snapshot())
+			if trans != nil {
+				payload.Transitions = trans
+			}
+			payload.Rules = states
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.count("/stream")
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		// One frame immediately (so one-shot captures see data without
+		// waiting a tick), then a steady cadence until the client goes.
+		send := func() bool {
+			data, err := json.Marshal(s.health())
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		if !send() {
+			return
+		}
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-tick.C:
+				if !send() {
+					return
+				}
+			}
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.count("/healthz")
 		w.Header().Set("Content-Type", "application/json")
@@ -239,6 +367,9 @@ func (s *Server) Handler() http.Handler {
 			"  /metrics.json   JSON metrics snapshot\n"+
 			"  /trace          span trace (JSON)\n"+
 			"  /events         structured event log (JSONL)\n"+
+			"  /timeseries     sampled virtual-time series (JSON)\n"+
+			"  /alerts         SLO rule states + transitions (JSON)\n"+
+			"  /stream         live status frames (SSE)\n"+
 			"  /healthz        liveness + run phase\n"+
 			"  /dashboard      live link-health dashboard (HTML)\n"+
 			"  /debug/pprof/   Go profiling suite\n")

@@ -112,8 +112,8 @@ func (e *Engine) Run(until float64) (int, error) {
 	span := obs.StartSpanAt("sim.run", e.now)
 	count := 0
 	defer func() {
-		obs.Add("sim_events_total", float64(count))
-		obs.Set("sim_queue_depth", float64(len(e.queue)))
+		obs.AddAt(e.now, "sim_events_total", float64(count))
+		obs.SetAt(e.now, "sim_queue_depth", float64(len(e.queue)))
 		span.SetAttr("events", fmt.Sprintf("%d", count))
 		span.EndAt(e.now)
 		if event.Enabled() {

@@ -31,13 +31,16 @@ import (
 	"github.com/mmtag/mmtag/internal/grid"
 	"github.com/mmtag/mmtag/internal/mac"
 	"github.com/mmtag/mmtag/internal/obs"
+	"github.com/mmtag/mmtag/internal/obs/alert"
 	"github.com/mmtag/mmtag/internal/obs/event"
 	"github.com/mmtag/mmtag/internal/obs/manifest"
 	"github.com/mmtag/mmtag/internal/obs/serve"
 	"github.com/mmtag/mmtag/internal/obs/signal"
+	"github.com/mmtag/mmtag/internal/obs/tsdb"
 	"github.com/mmtag/mmtag/internal/par"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/rundiff"
 	"github.com/mmtag/mmtag/internal/sim"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
@@ -127,6 +130,24 @@ type (
 	// Pipeline is a reusable receive chain owning its own Workspace; see
 	// NewPipeline.
 	Pipeline = reader.Pipeline
+	// Sampler is the deterministic virtual-time series store every metric
+	// update folds into when sampling is on; see EnableSampling.
+	Sampler = tsdb.Sampler
+	// TimeSeriesSnapshot is a point-in-time copy of the Sampler's rings.
+	TimeSeriesSnapshot = tsdb.Snapshot
+	// AlertRule is one declarative SLO rule (metric, window aggregation,
+	// comparator, for-duration); see NewAlertEngine.
+	AlertRule = alert.Rule
+	// AlertEngine evaluates SLO rules against a time-series snapshot.
+	AlertEngine = alert.Engine
+	// AlertTransition is one firing/resolved state change.
+	AlertTransition = alert.Transition
+	// AlertRuleState is a rule's state after an evaluation pass.
+	AlertRuleState = alert.RuleState
+	// RunDiffOptions tune DiffRunDirs' tolerance gates.
+	RunDiffOptions = rundiff.Options
+	// RunDiffResult is a rendered run-directory comparison.
+	RunDiffResult = rundiff.Result
 )
 
 // Metrics returns the process-wide observability registry, enabling
@@ -193,17 +214,74 @@ func SignalTapsEnabled() bool { return signal.Enabled() }
 // (and its flight-recorder contents) is dropped.
 func DisableSignalTaps() { signal.Disable() }
 
+// EnableSampling attaches a deterministic virtual-time sampler to the
+// metrics registry (enabling collection if needed): every counter,
+// gauge and histogram update folds into bounded delta rings at interval
+// dt seconds, with the time horizon doubling (and resolution halving)
+// whenever the rings fill. The resulting timeseries.json is
+// byte-identical for any worker count; wall-clock metrics
+// (tsdb.WallClockMetrics) are excluded. ServeTelemetry and WriteRunDir
+// pick the active sampler up automatically.
+func EnableSampling(dt float64) (*Sampler, error) {
+	s, err := tsdb.Attach(Metrics(), dt)
+	if err != nil {
+		return nil, err
+	}
+	tsdb.EnableWith(s)
+	return s, nil
+}
+
+// SamplingEnabled reports whether a sampler is active.
+func SamplingEnabled() bool { return tsdb.Enabled() }
+
+// DisableSampling detaches the active sampler; recorded series are
+// dropped. The registry keeps collecting unsampled.
+func DisableSampling() {
+	if r := obs.Active(); r != nil {
+		r.SetSampleSink(nil)
+	}
+	tsdb.Disable()
+}
+
+// DefaultAlertRules returns the built-in SLO rule set: BER target, ARQ
+// p99 latency, sync-loss streaks and flight-recorder trigger rate.
+func DefaultAlertRules() []AlertRule { return alert.DefaultRules() }
+
+// NewAlertEngine builds an alert engine from validated rules (nil =
+// DefaultAlertRules). Evaluate it against Sampler.Snapshot().
+func NewAlertEngine(rules []AlertRule) (*AlertEngine, error) {
+	if rules == nil {
+		rules = alert.DefaultRules()
+	}
+	return alert.New(rules)
+}
+
+// DiffRunDirs compares the metric snapshots of two run directories with
+// relative/absolute tolerance gates; histogram series compare by count
+// and interpolated quantiles, never by scheduling-ordered sums. The
+// mmtag CLI's diff subcommand is this function plus a nonzero exit.
+func DiffRunDirs(aDir, bDir string, opt RunDiffOptions) (*RunDiffResult, error) {
+	return rundiff.Diff(aDir, bDir, opt)
+}
+
 // ServeTelemetry starts the live telemetry HTTP server on addr (":0"
 // picks a free port), enabling metrics and event collection if needed.
 // It serves /metrics, /metrics.json, /trace, /events, /healthz,
 // /dashboard and /debug/pprof/ until Close, reading concurrently with
 // any running simulation. An active signal tap (EnableSignalTaps) is
 // attached automatically so the dashboard gains the constellation and
-// spectrum panels. The returned server's SetPhase labels /healthz.
+// spectrum panels, and an active sampler (EnableSampling) adds
+// /timeseries, /alerts and the SSE /stream feed plus the dashboard's
+// time-axis charts and alert panel (default SLO rules). The returned
+// server's SetPhase labels /healthz.
 func ServeTelemetry(addr string) (*TelemetryServer, *RunningTelemetry, error) {
 	s := serve.New(Metrics(), Events())
 	if t := signal.Active(); t != nil {
 		s.AttachSignal(t)
+	}
+	if smp := tsdb.Active(); smp != nil {
+		s.AttachTimeseries(smp)
+		s.AttachAlerts(alert.Default())
 	}
 	run, err := s.Start(addr)
 	if err != nil {
@@ -218,7 +296,9 @@ func ServeTelemetry(addr string) (*TelemetryServer, *RunningTelemetry, error) {
 // digests of every artifact recorded in the manifest. When signal taps
 // are enabled with a flight recorder, its IQ captures (flight_*.iq plus
 // the flight.json index) are archived and digested alongside, so
-// VerifyRunDir covers them too.
+// VerifyRunDir covers them too. With sampling on (EnableSampling), the
+// sampled series are archived as timeseries.json and the default SLO
+// rules' transitions as alerts.jsonl, digested the same way.
 func WriteRunDir(dir string, info RunInfo) (RunManifest, error) {
 	var extra []manifest.ExtraFile
 	if t := signal.Active(); t != nil {
@@ -229,6 +309,11 @@ func WriteRunDir(dir string, info RunInfo) (RunManifest, error) {
 		for _, f := range files {
 			extra = append(extra, manifest.ExtraFile{Name: f.Name, Data: f.Data})
 		}
+	}
+	if smp := tsdb.Active(); smp != nil {
+		extra = append(extra, manifest.ExtraFile{Name: "timeseries.json", Data: smp.JSON()})
+		trans, _ := alert.Default().Evaluate(smp.Snapshot())
+		extra = append(extra, manifest.ExtraFile{Name: "alerts.jsonl", Data: alert.EncodeJSONL(trans)})
 	}
 	return manifest.Write(dir, info, obs.Active(), event.Active(), extra...)
 }
