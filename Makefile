@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-gate7 bench-trend bench-history grid-smoke vet fmt experiments figures clean
+.PHONY: all build test race bench bench-json bench-json1 bench-json3 bench-json4 bench-json5 bench-json6 bench-json7 bench-json8 bench-gate bench-gate3 bench-gate4 bench-gate5 bench-gate6 bench-gate7 bench-gate8 bench-trend bench-history grid-smoke vet fmt experiments figures clean
 
 all: build test
 
@@ -67,6 +67,13 @@ BENCH7_OUT ?= $(CURDIR)/BENCH_7.json
 bench-json7:
 	MMTAG_BENCH7_JSON=$(BENCH7_OUT) $(GO) test -run 'TestWriteBenchJSON7' -v .
 
+# Streaming decode pipeline (BENCH_8.json): zero-alloc serial Decoder
+# figures plus the stage-parallel pipelined-vs-serial speedup on 4
+# workers, with allocs/op recorded.
+BENCH8_OUT ?= $(CURDIR)/BENCH_8.json
+bench-json8:
+	MMTAG_BENCH8_JSON=$(BENCH8_OUT) $(GO) test -run 'TestWriteBenchJSON8' -v .
+
 # Compare a fresh benchmark run against the committed baseline.
 bench-gate:
 	$(MAKE) bench-json BENCH_OUT=/tmp/mmtag_bench_fresh.json
@@ -112,20 +119,31 @@ bench-gate7:
 	$(MAKE) bench-json7 BENCH7_OUT=/tmp/mmtag_bench7_fresh.json
 	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_7.json -fresh /tmp/mmtag_bench7_fresh.json -require-speedup 0 -tolerance 0.40
 
+# Streaming decode gate: the serial Decoder's allocs/op stay pinned (raw
+# comparison; stream_decode_frame is asserted == 0 inside the JSON writer
+# itself) and the stage-parallel pipeline holds its ≥2× speedup over the
+# single-burst serial loop wherever the machine has ≥4 CPUs (the @4
+# qualifier skips the ratio on smaller containers).
+bench-gate8:
+	$(MAKE) bench-json8 BENCH8_OUT=/tmp/mmtag_bench8_fresh.json
+	$(GO) run ./tools/benchgate -baseline $(CURDIR)/BENCH_8.json -fresh /tmp/mmtag_bench8_fresh.json \
+		-require-speedup 0 -tolerance 0.40 \
+		-ratio "stream_decode_serial/stream_decode_pipelined>=2.0@4"
+
 # Markdown trend table across the whole BENCH_N.json history.
 bench-trend:
-	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json
+	$(GO) run ./tools/benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
 
 # Cross-PR history report + regression gate: regenerate the current
-# fast-path figures, render the per-metric trend over BENCH_1…6 plus the
+# fast-path figures, render the per-metric trend over BENCH_1…8 plus the
 # fresh run (ns/op scaled through the calibration benchmark), and fail
 # when any allocation-tracked benchmark regresses past the best count
 # ever recorded for it.
 bench-history:
-	$(MAKE) bench-json7 BENCH7_OUT=/tmp/mmtag_bench7_fresh.json
+	$(MAKE) bench-json8 BENCH8_OUT=/tmp/mmtag_bench8_fresh.json
 	$(GO) run ./tools/benchgate -history \
-		BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json \
-		/tmp/mmtag_bench7_fresh.json
+		BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json \
+		/tmp/mmtag_bench8_fresh.json
 
 # Grid smoke: run the committed smoke grid at two worker counts, verify
 # every cell manifest, and assert the deterministic artifacts are

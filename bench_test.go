@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"github.com/mmtag/mmtag"
+	"github.com/mmtag/mmtag/internal/core"
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
 	"github.com/mmtag/mmtag/internal/mac"
@@ -25,6 +26,7 @@ import (
 	"github.com/mmtag/mmtag/internal/phy"
 	"github.com/mmtag/mmtag/internal/reader"
 	"github.com/mmtag/mmtag/internal/rng"
+	"github.com/mmtag/mmtag/internal/stream"
 	"github.com/mmtag/mmtag/internal/units"
 	"github.com/mmtag/mmtag/internal/vanatta"
 )
@@ -1339,11 +1341,14 @@ func BenchmarkDecodeBurstBatch(b *testing.B) {
 	}
 	p := reader.NewPipeline()
 	decode := func() {
-		p.DecodeBurstBatch(bursts, w, func(i int, f *frame.Decoded, _ reader.RxStats, err error) {
+		err := p.DecodeBurstBatch(bursts, w, func(i int, f *frame.Decoded, _ reader.RxStats, err error) {
 			if err != nil || !f.Trailer.OK {
 				b.Fatalf("burst %d failed: %v", i, err)
 			}
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	decode() // warm the pipeline workspace
 	b.ResetTimer()
@@ -1578,6 +1583,195 @@ func TestWriteBenchJSON7(t *testing.T) {
 		GoVersion:         runtime.Version(),
 		Benchmarks:        records,
 		SamplerAllocDelta: sampled.AllocsPerOp - metrics.AllocsPerOp,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Streaming decode pipeline (BENCH_8.json) ----------------------
+//
+// The streaming session layer's contract is twofold: the serial
+// streaming Decoder is allocation-free per frame in steady state, and
+// the stage-parallel pipeline beats a serial single-burst decode loop
+// by ≥2× on 4 workers (sync, demod and decode overlap across frames).
+// TestWriteBenchJSON8 asserts the alloc half in-test; the speedup half
+// is gated by benchgate -ratio with a min-CPU qualifier so single-core
+// CI containers skip it instead of measuring scheduler thrash.
+
+// streamBenchFrames is the stream length each serial/pipelined op
+// decodes, so the two ns/op figures are directly comparable.
+const streamBenchFrames = 64
+
+// benchStreamSetup captures a pool of real 2 ft receiver bursts (the
+// near-clean gigabit operating point) for the decode benchmarks.
+func benchStreamSetup(tb testing.TB) (stream.Shape, [][]complex128) {
+	tb.Helper()
+	const frameBytes = 64
+	w, err := phy.NewRectWaveform(core.SamplesPerSymbol)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	shape, err := stream.NewShape(w, frameBytes)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l, err := core.NewDefaultLink(units.FeetToMeters(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bw := l.Reader.Bandwidths[0]
+	seq := rng.NewSequence(7)
+	bursts := make([][]complex128, 16)
+	for i := range bursts {
+		src := seq.At(uint64(i))
+		payload := src.Bytes(make([]byte, frameBytes))
+		cap, err := l.CaptureWaveform(payload, frame.MCSOOK, bw, src)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bursts[i] = append([]complex128(nil), cap.Samples...)
+	}
+	return shape, bursts
+}
+
+// BenchmarkStreamDecodeFrame is one steady-state frame through the
+// serial streaming Decoder — the figure whose allocs/op must be 0.
+func BenchmarkStreamDecodeFrame(b *testing.B) {
+	shape, bursts := benchStreamSetup(b)
+	dec := stream.NewDecoder(shape)
+	for i, rx := range bursts {
+		dec.Decode(i, rx) // warm the decoder's buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(i, bursts[i%len(bursts)])
+	}
+}
+
+// BenchmarkStreamDecodeSerial decodes streamBenchFrames bursts per op
+// through the single-goroutine Decoder: the single-burst-loop baseline.
+func BenchmarkStreamDecodeSerial(b *testing.B) {
+	shape, bursts := benchStreamSetup(b)
+	dec := stream.NewDecoder(shape)
+	for i, rx := range bursts {
+		dec.Decode(i, rx)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < streamBenchFrames; k++ {
+			dec.Decode(k, bursts[k%len(bursts)])
+		}
+	}
+}
+
+// BenchmarkStreamDecodePipelined decodes the same streamBenchFrames
+// bursts per op through the stage-parallel pipeline on 4 workers.
+func BenchmarkStreamDecodePipelined(b *testing.B) {
+	shape, bursts := benchStreamSetup(b)
+	p := stream.NewPipeline(shape, stream.Config{Workers: 4, Depth: 8})
+	gen := func(_ *dsp.Workspace, idx int, _ []complex128) ([]complex128, error) {
+		return bursts[idx%len(bursts)], nil
+	}
+	fold := func(f *stream.Frame) error { return nil }
+	if err := p.Run(streamBenchFrames, gen, fold); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Run(streamBenchFrames, gen, fold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// bench8Record is one row of BENCH_8.json.
+type bench8Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON8 emits BENCH_8.json: the streaming decode figures,
+// with the zero-allocation steady-state contract asserted in-test and
+// the pipelined-vs-serial speedup recorded for the benchgate ratio gate
+// (stream_decode_serial/stream_decode_pipelined ≥ 2.0 on ≥4 CPUs).
+func TestWriteBenchJSON8(t *testing.T) {
+	path := os.Getenv("MMTAG_BENCH8_JSON")
+	if path == "" {
+		t.Skip("set MMTAG_BENCH8_JSON=<path> to emit the benchmark JSON")
+	}
+	obs.Disable()
+	event.Disable()
+	signal.Disable()
+	run := func(name string, fn func(b *testing.B)) bench8Record {
+		best := testing.Benchmark(fn)
+		for i := 0; i < 2; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		t.Logf("%s: %d ns/op, %d allocs/op, %d B/op",
+			name, best.NsPerOp(), best.AllocsPerOp(), best.AllocedBytesPerOp())
+		return bench8Record{
+			Name:        name,
+			NsPerOp:     float64(best.NsPerOp()),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+		}
+	}
+	records := []bench8Record{
+		// Machine-speed calibration first, as in BENCH_2 through BENCH_7.
+		run("calibration_ook_modem", BenchmarkOOKModem),
+		run("stream_decode_frame", BenchmarkStreamDecodeFrame),
+		run("stream_decode_serial", BenchmarkStreamDecodeSerial),
+		run("stream_decode_pipelined", BenchmarkStreamDecodePipelined),
+	}
+	byName := func(name string) bench8Record {
+		for _, r := range records {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing record %s", name)
+		return bench8Record{}
+	}
+	if r := byName("stream_decode_frame"); r.AllocsPerOp != 0 {
+		t.Fatalf("stream_decode_frame: %d allocs/op, want 0 (steady-state decode must not allocate)", r.AllocsPerOp)
+	}
+	serial := byName("stream_decode_serial")
+	pipelined := byName("stream_decode_pipelined")
+	speedup := 0.0
+	if pipelined.NsPerOp > 0 {
+		speedup = serial.NsPerOp / pipelined.NsPerOp
+	}
+	out := struct {
+		Schema     string         `json:"schema"`
+		Note       string         `json:"note"`
+		NumCPU     int            `json:"num_cpu"`
+		GoVersion  string         `json:"go_version"`
+		Frames     int            `json:"frames_per_op"`
+		Benchmarks []bench8Record `json:"benchmarks"`
+		// PipelineSpeedup is re-derived and gated from the raw records by
+		// benchgate -ratio "stream_decode_serial/stream_decode_pipelined>=2.0@4";
+		// it is recorded here so the committed file tells the story on its own.
+		PipelineSpeedup float64 `json:"pipeline_speedup_workers_4"`
+	}{
+		Schema:          "mmtag-bench/8",
+		Note:            "regenerate with `make bench-json8`; ns/op is machine-dependent, allocs/op is not",
+		NumCPU:          runtime.NumCPU(),
+		GoVersion:       runtime.Version(),
+		Frames:          streamBenchFrames,
+		Benchmarks:      records,
+		PipelineSpeedup: speedup,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

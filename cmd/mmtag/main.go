@@ -27,6 +27,9 @@
 //	arq        E16: link-layer goodput with stop-and-wait ARQ
 //	planar     E17: 2-D (planar) Van Atta vs fixed panel
 //	impair     A2: line phase-error ablation
+//	stream     E18: sustained streaming session (stage-parallel decode
+//	           pipeline) + flow-controlled offered-load sweep; -points
+//	           sets the session frame count
 //	all        run every experiment in order
 //	verify     re-hash a -rundir manifest (single run or grid) and fail
 //	           on any digest mismatch
@@ -147,7 +150,7 @@ type options struct {
 // allExperiments is the "all" subcommand's order.
 var allExperiments = []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber",
 	"mac", "selfint", "energy", "anticol", "blockage", "rateadapt", "fading",
-	"bands", "coded", "arq", "planar", "arraysize", "impair"}
+	"bands", "coded", "arq", "planar", "arraysize", "impair", "stream"}
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mmtag", flag.ContinueOnError)
@@ -176,7 +179,7 @@ func run(args []string) error {
 	fs.Float64Var(&opt.diffAbs, "abs", 1e-9, "absolute tolerance floor for the diff gate (diff subcommand)")
 	fs.StringVar(&opt.diffSkip, "skip", "", "comma-separated metric families to exclude from the diff gate")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|all|verify|grid|grid-report|diff> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: mmtag <fig6|fig7|retro|beamwidth|compare|ber|mac|selfint|energy|anticol|blockage|rateadapt|fading|bands|coded|arq|planar|arraysize|impair|stream|all|verify|grid|grid-report|diff> [flags]")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -634,6 +637,12 @@ func tableFor(name string, opt options) (experiments.Table, error) {
 		return r.Table(), nil
 	case "impair":
 		r, err := experiments.ImpairmentAblation(nil, 0, opt.seed)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table(), nil
+	case "stream":
+		r, err := experiments.StreamThroughput(opt.points, opt.seed)
 		if err != nil {
 			return experiments.Table{}, err
 		}

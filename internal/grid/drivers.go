@@ -239,6 +239,18 @@ var drivers = map[string]runFunc{
 		}
 		return r.Table(), m, nil
 	},
+	"stream": func(p Params, _ *dsp.Workspace) (experiments.Table, map[string]float64, error) {
+		r, err := experiments.StreamThroughput(p.Points, p.Seed)
+		if err != nil {
+			return experiments.Table{}, nil, err
+		}
+		return r.Table(), map[string]float64{
+			"session_goodput_bps": r.Session.GoodputBps,
+			"session_decoded":     float64(r.Session.Decoded),
+			"peak_delivered_fps":  r.PeakDeliveredFPS(),
+			"capacity_fps":        r.CapacityFPS,
+		}, nil
+	},
 }
 
 // Drivers lists the registered driver names, sorted.

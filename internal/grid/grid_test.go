@@ -182,7 +182,8 @@ func TestDriversRegistryCoversCLI(t *testing.T) {
 	// archival subcommands) should be runnable as a grid cell.
 	want := []string{"fig6", "fig7", "retro", "beamwidth", "compare", "ber",
 		"mac", "selfint", "energy", "anticol", "blockage", "rateadapt",
-		"fading", "bands", "coded", "arq", "planar", "arraysize", "impair"}
+		"fading", "bands", "coded", "arq", "planar", "arraysize", "impair",
+		"stream"}
 	have := map[string]bool{}
 	for _, d := range Drivers() {
 		have[d] = true

@@ -214,6 +214,9 @@ var timeseriesCharts = []timeseriesChart{
 	{"core_bit_errors_total", "Bit errors per sample slot", "errors", false, 0, 1},
 	{"mac_arq_transmissions_total", "ARQ transmissions per sample slot", "bursts", false, 0, 1},
 	{"signal_snr_est_db", "SNR estimate p50 over virtual time", "SNR (dB)", true, 0.5, 1},
+	{"stream_frames_decoded_total", "Streamed frames decoded per sample slot", "frames", false, 0, 1},
+	{"stream_snr_est_db", "Stream decision-SNR p50 over virtual time", "SNR (dB)", true, 0.5, 1},
+	{"stream_flow_delivered_total", "Flow-controlled deliveries per sample slot", "frames", false, 0, 1},
 }
 
 // writeTimeseriesCharts renders the virtual-time panels for every

@@ -59,6 +59,8 @@ var WallClockMetrics = []string{
 	"par_workers",
 	"core_beam_dwell_seconds",
 	"serve_requests_total",
+	"stream_queue_depth",
+	"stream_wall_fps",
 }
 
 // discard is the BindSeries handle for skipped (wall-clock) series.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"github.com/mmtag/mmtag/internal/dsp"
 	"github.com/mmtag/mmtag/internal/frame"
@@ -18,6 +19,13 @@ import (
 // metrics) separate it from demodulation/framing failures with
 // errors.Is.
 var ErrSync = errors.New("reader: sync failed")
+
+// ErrPipelineBusy reports a concurrent DecodeBurst/DecodeBurstBatch on
+// one Pipeline. The shared workspace would be silently corrupted by
+// interleaved Resets, so overlapping use is detected and refused instead;
+// parallel decoders create one Pipeline per goroutine (or use
+// internal/stream's stage-parallel pipeline).
+var ErrPipelineBusy = errors.New("reader: pipeline already in use")
 
 func init() {
 	// The preamble metric is an unnormalized correlation peak at √W
@@ -146,8 +154,11 @@ func DecideASK4WS(ws *dsp.Workspace, decisions []complex128) (bits []byte, err e
 // repeated DecodeBurst calls reuse every correlation, normalization and
 // bit-slicing buffer instead of reallocating them per burst. A Pipeline
 // is not safe for concurrent use; parallel sweeps create one per worker.
+// Overlapping calls are detected (the in-use flag below) and fail with
+// ErrPipelineBusy rather than corrupting the workspace.
 type Pipeline struct {
-	ws *dsp.Workspace
+	ws    *dsp.Workspace
+	inUse atomic.Bool
 }
 
 // NewPipeline returns a receive pipeline with a fresh workspace.
@@ -160,26 +171,43 @@ func (p *Pipeline) Workspace() *dsp.Workspace { return p.ws }
 // DecodeBurst decodes one burst, recycling the previous call's buffers
 // first. The returned frame references workspace memory: it is valid
 // only until the next call on this pipeline (copy the payload out to
-// keep it).
+// keep it). A call overlapping another DecodeBurst/DecodeBurstBatch on
+// the same pipeline fails with ErrPipelineBusy.
 func (p *Pipeline) DecodeBurst(samples []complex128, w phy.Waveform) (*frame.Decoded, RxStats, error) {
+	if !p.inUse.CompareAndSwap(false, true) {
+		return nil, RxStats{}, ErrPipelineBusy
+	}
+	defer p.inUse.Store(false)
 	p.ws.Reset()
 	return DecodeBurstWS(p.ws, samples, w)
 }
 
 // DecodeBurstBatch decodes a batch of same-shaped bursts through this
-// pipeline's single workspace, invoking visit once per burst in order.
-// The workspace is Reset between bursts (recycling every scratch buffer)
-// while its cached FFT plans survive, so the whole batch shares one set
-// of twiddle tables and stabilized buffers — the per-burst decode is
-// allocation-free after the first burst. The decoded frame and stats
-// passed to visit reference workspace memory and are valid ONLY during
-// that visit call; copy out anything that must be kept.
-func (p *Pipeline) DecodeBurstBatch(bursts [][]complex128, w phy.Waveform, visit func(i int, f *frame.Decoded, stats RxStats, err error)) {
+// pipeline's single workspace. Ordering is part of the contract: visit
+// is invoked exactly once per burst, in increasing index order (0, 1, …,
+// len(bursts)-1), and each (frame, stats, err) triple is identical to
+// what a one-at-a-time DecodeBurst loop over the same bursts would
+// produce — batch decoding is an amortization, never a reordering (see
+// TestDecodeBurstBatchOrderPinned). The workspace is Reset between
+// bursts (recycling every scratch buffer) while its cached FFT plans
+// survive, so the whole batch shares one set of twiddle tables and
+// stabilized buffers — the per-burst decode is allocation-free after the
+// first burst. The decoded frame and stats passed to visit reference
+// workspace memory and are valid ONLY during that visit call; copy out
+// anything that must be kept. A call overlapping another
+// DecodeBurst/DecodeBurstBatch on the same pipeline fails with
+// ErrPipelineBusy before visiting anything.
+func (p *Pipeline) DecodeBurstBatch(bursts [][]complex128, w phy.Waveform, visit func(i int, f *frame.Decoded, stats RxStats, err error)) error {
+	if !p.inUse.CompareAndSwap(false, true) {
+		return ErrPipelineBusy
+	}
+	defer p.inUse.Store(false)
 	for i, samples := range bursts {
 		p.ws.Reset()
 		f, stats, err := DecodeBurstWS(p.ws, samples, w)
 		visit(i, f, stats, err)
 	}
+	return nil
 }
 
 // DecodeBurst runs the full receive pipeline on captured baseband

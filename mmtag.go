@@ -42,6 +42,7 @@ import (
 	"github.com/mmtag/mmtag/internal/rng"
 	"github.com/mmtag/mmtag/internal/rundiff"
 	"github.com/mmtag/mmtag/internal/sim"
+	"github.com/mmtag/mmtag/internal/stream"
 	"github.com/mmtag/mmtag/internal/tag"
 	"github.com/mmtag/mmtag/internal/units"
 	"github.com/mmtag/mmtag/internal/vanatta"
@@ -98,6 +99,22 @@ type (
 	TrackConfig = core.TrackConfig
 	// TrackResult is a mobility run's sampled time series.
 	TrackResult = core.TrackResult
+	// StreamShape is the fixed burst geometry of a streaming session.
+	StreamShape = stream.Shape
+	// StreamFrame is one folded streaming-decode result.
+	StreamFrame = stream.Frame
+	// StreamConfig configures the stage-parallel pipeline.
+	StreamConfig = stream.Config
+	// StreamPipelineStats reports queue watermarks after a stream run.
+	StreamPipelineStats = stream.PipelineStats
+	// SessionConfig configures a continuous streaming decode session.
+	SessionConfig = stream.SessionConfig
+	// SessionResult summarizes a streaming session.
+	SessionResult = stream.SessionResult
+	// FlowConfig configures the per-tag sliding-window flow control.
+	FlowConfig = stream.FlowConfig
+	// FlowResult summarizes a flow-controlled delivery run.
+	FlowResult = stream.FlowResult
 	// Trace accumulates named time-series columns and renders CSV.
 	Trace = sim.Trace
 	// Registry is the observability metric + span store; see Metrics.
@@ -467,4 +484,23 @@ var (
 	ArraySizeAblation = experiments.ArraySizeAblation
 	// ImpairmentAblation runs ablation A2.
 	ImpairmentAblation = experiments.ImpairmentAblation
+	// StreamThroughput runs the sustained streaming session and the
+	// flow-controlled offered-load sweep (E18).
+	StreamThroughput = experiments.StreamThroughput
+)
+
+// Streaming sessions — the continuous-PHY layer (internal/stream).
+var (
+	// NewStreamShape validates a streaming burst geometry.
+	NewStreamShape = stream.NewShape
+	// NewStreamDecoder returns the zero-alloc serial streaming decoder.
+	NewStreamDecoder = stream.NewDecoder
+	// NewStreamPipeline builds the stage-parallel decode pipeline.
+	NewStreamPipeline = stream.NewPipeline
+	// RunStreamSession streams frames through the pipeline with metrics,
+	// events and worker-invariant artifacts.
+	RunStreamSession = stream.RunSession
+	// RunStreamFlow runs the per-tag sliding-window flow control over
+	// real waveform bursts on the virtual clock.
+	RunStreamFlow = stream.RunFlow
 )

@@ -26,13 +26,14 @@
 //	benchgate -trend BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
 //	benchgate -history BENCH_1.json ... BENCH_6.json fresh.json
 //
-// mmtag-bench/1 through mmtag-bench/7 files (parallel sweeps, event-log
+// mmtag-bench/1 through mmtag-bench/8 files (parallel sweeps, event-log
 // overhead, allocation profile, signal-tap overhead, frequency-domain
-// fast path, time-series sampler overhead) are accepted; in pair-gate
-// mode the two files must share a schema. Pass -require-speedup 0
-// for files that make no parallel-speedup claim (BENCH_3.json), and
-// -allow-missing to tolerate benchmarks present in the baseline but
-// absent from the fresh run (e.g. a baseline generated by a newer tree).
+// fast path, time-series sampler overhead, streaming decode pipeline)
+// are accepted; in pair-gate mode the two files must share a schema.
+// Pass -require-speedup 0 for files that make no parallel-speedup claim
+// (BENCH_3.json), and -allow-missing to tolerate benchmarks present in
+// the baseline but absent from the fresh run (e.g. a baseline generated
+// by a newer tree).
 //
 // -ratio (repeatable) asserts a same-machine speedup inside the FRESH
 // file alone: "num/den>=min" fails the gate when fresh ns/op of num
@@ -40,7 +41,10 @@
 // from the same run, no calibration scaling applies — this is how the
 // mmtag-bench/6 gate pins "FFT convolution ≥ 5× over the direct block
 // filter" and "the radix-4 plan beats the radix-2 kernel" on whatever
-// machine CI lands on.
+// machine CI lands on. An optional "@N" qualifier ("num/den>=min@4")
+// skips the gate when the fresh run's machine has fewer than N CPUs —
+// the mmtag-bench/8 pipeline-speedup gate uses it so single-core CI
+// containers don't fail a claim the hardware cannot express.
 //
 // -trend switches to report mode: instead of gating a pair, it reads
 // every file named on the command line (any mmtag-bench/* schema) and
@@ -94,10 +98,13 @@ type benchFile struct {
 const calibrationName = "calibration_ook_modem"
 
 // ratioGate is one parsed -ratio assertion: fresh ns/op of num divided
-// by fresh ns/op of den must be at least min.
+// by fresh ns/op of den must be at least min. A trailing "@N" qualifier
+// ("num/den>=min@4") skips the gate on machines with fewer than N CPUs —
+// for speedups that only exist with real parallel hardware.
 type ratioGate struct {
 	num, den string
 	min      float64
+	minCPUs  int
 }
 
 // ratioFlags collects repeated -ratio flags.
@@ -107,6 +114,9 @@ func (r *ratioFlags) String() string {
 	parts := make([]string, len(*r))
 	for i, g := range *r {
 		parts[i] = fmt.Sprintf("%s/%s>=%g", g.num, g.den, g.min)
+		if g.minCPUs > 0 {
+			parts[i] += fmt.Sprintf("@%d", g.minCPUs)
+		}
 	}
 	return strings.Join(parts, ",")
 }
@@ -114,17 +124,25 @@ func (r *ratioFlags) String() string {
 func (r *ratioFlags) Set(s string) error {
 	expr, minStr, ok := strings.Cut(s, ">=")
 	if !ok {
-		return fmt.Errorf("ratio %q: want num/den>=min", s)
+		return fmt.Errorf("ratio %q: want num/den>=min[@cpus]", s)
 	}
 	num, den, ok := strings.Cut(strings.TrimSpace(expr), "/")
 	if !ok || num == "" || den == "" {
-		return fmt.Errorf("ratio %q: want num/den>=min", s)
+		return fmt.Errorf("ratio %q: want num/den>=min[@cpus]", s)
+	}
+	minCPUs := 0
+	if val, cpus, ok := strings.Cut(minStr, "@"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(cpus))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("ratio %q: bad @cpus qualifier", s)
+		}
+		minCPUs, minStr = n, val
 	}
 	min, err := strconv.ParseFloat(strings.TrimSpace(minStr), 64)
 	if err != nil {
 		return fmt.Errorf("ratio %q: bad minimum: %v", s, err)
 	}
-	*r = append(*r, ratioGate{num: strings.TrimSpace(num), den: strings.TrimSpace(den), min: min})
+	*r = append(*r, ratioGate{num: strings.TrimSpace(num), den: strings.TrimSpace(den), min: min, minCPUs: minCPUs})
 	return nil
 }
 
@@ -138,9 +156,9 @@ func load(path string) (benchFile, error) {
 		return f, fmt.Errorf("%s: %w", path, err)
 	}
 	switch f.Schema {
-	case "mmtag-bench/1", "mmtag-bench/2", "mmtag-bench/3", "mmtag-bench/4", "mmtag-bench/5", "mmtag-bench/6", "mmtag-bench/7":
+	case "mmtag-bench/1", "mmtag-bench/2", "mmtag-bench/3", "mmtag-bench/4", "mmtag-bench/5", "mmtag-bench/6", "mmtag-bench/7", "mmtag-bench/8":
 	default:
-		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/1 through /7", path, f.Schema)
+		return f, fmt.Errorf("%s: schema %q, want mmtag-bench/1 through /8", path, f.Schema)
 	}
 	return f, nil
 }
@@ -149,7 +167,7 @@ func load(path string) (benchFile, error) {
 // benchmark (so the unscaled allocation gate is meaningful).
 func hasAllocGate(schema string) bool {
 	return schema == "mmtag-bench/4" || schema == "mmtag-bench/5" || schema == "mmtag-bench/6" ||
-		schema == "mmtag-bench/7"
+		schema == "mmtag-bench/7" || schema == "mmtag-bench/8"
 }
 
 func (f benchFile) lookup(name string) (record, bool) {
@@ -279,6 +297,11 @@ func main() {
 	// Same-run ratio gates: both sides come from the fresh file, so the
 	// asserted speedup is machine-independent — no calibration scaling.
 	for _, g := range ratios {
+		if g.minCPUs > 0 && fresh.NumCPU < g.minCPUs {
+			fmt.Printf("ratio %s/%s: skipped (fresh run has %d CPUs, gate needs ≥ %d)\n",
+				g.num, g.den, fresh.NumCPU, g.minCPUs)
+			continue
+		}
 		num, okN := fresh.lookup(g.num)
 		den, okD := fresh.lookup(g.den)
 		if !okN || !okD {
